@@ -1,0 +1,82 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* why only feature HVs are locked (correlated value-lock bases leak);
+* L = 1 is latency-free, L = 2 costs the paper's 21 %;
+* P and L mutually enhance attack complexity (Fig. 7b observation);
+* the Sec. 3 attack collapses against a locked deployment.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import (
+    layer_one_is_free,
+    naive_attack_on_locked,
+    pool_layer_synergy,
+    render_ablations,
+    single_layer_breakability,
+    value_lock_leakage,
+)
+from repro.experiments.config import DEFAULT_SEED
+
+
+def test_ablation_value_lock_leaks(benchmark):
+    """A correlated value-lock base pool leaks the level order with
+    zero oracle queries; the feature-lock pool is featureless."""
+    result = benchmark.pedantic(
+        lambda: value_lock_leakage(seed=DEFAULT_SEED), rounds=1, iterations=1
+    )
+    assert result.recovered_order_correct
+    assert result.correlated_profile_error < 0.02
+    assert result.orthogonal_max_deviation < 0.06
+
+
+def test_ablation_layer_costs(benchmark):
+    """L=1 free, L=2 at +21% — the Sec. 5.2 latency claims."""
+    result = benchmark(layer_one_is_free)
+    assert result.relative_time_l1 == 1.0
+    assert abs(result.relative_time_l2 - 1.21) < 0.01
+
+
+def test_ablation_pool_layer_synergy(benchmark):
+    """Growing P from 100 to 700 buys 7x at L=1 but 343x at L=3."""
+    result = benchmark(pool_layer_synergy)
+    assert result.mutually_enhanced
+    assert result.gain_at_l1 == 7.0
+    assert result.gain_at_l3 == 343.0
+
+
+def test_ablation_single_layer_breaks(benchmark):
+    """An L=1 key falls to exhaustive sweep; the measured guess rate
+    projects L=2 out of reach (the layer-depth design guidance)."""
+    result = benchmark.pedantic(
+        lambda: single_layer_breakability(seed=DEFAULT_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.key_recovered
+    assert result.l2_infeasible_factor > 1e3
+    benchmark.extra_info["l1_seconds"] = round(result.measured_seconds, 3)
+    benchmark.extra_info["l2_projected_seconds"] = result.projected_l2_seconds
+
+
+def test_ablation_naive_attack_collapses(benchmark, bench_scale):
+    """The unprotected divide-and-conquer sweep loses its dip on a
+    locked deployment (no candidate beats chance)."""
+
+    def run():
+        return naive_attack_on_locked(scale=bench_scale, seed=DEFAULT_SEED)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        render_ablations(
+            value_lock_leakage(seed=DEFAULT_SEED),
+            layer_one_is_free(),
+            pool_layer_synergy(),
+            result,
+            single_layer_breakability(seed=DEFAULT_SEED),
+        )
+    )
+    assert result.lock_removed_the_dip
+    assert result.locked_best > 0.35
+    assert result.unprotected_best < 0.15

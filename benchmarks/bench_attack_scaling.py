@@ -1,0 +1,65 @@
+"""Attack-cost scaling: reasoning time vs model width N.
+
+The paper states the divide-and-conquer complexity is O(N^2); Table 1's
+timings across the five benchmarks follow it. This bench measures the
+attack on a family of models with growing N (same D, M) and checks the
+fitted growth exponent lands near 2 (between linear and cubic — the
+candidate-table build adds an O(N * D) term that flattens small N).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.attack.pipeline import run_reasoning_attack
+from repro.attack.threat_model import expose_model
+from repro.encoding.record import RecordEncoder
+from repro.utils.timer import Timer
+
+WIDTHS = (64, 128, 256, 512)
+M = 8
+
+
+def _attack_seconds(n: int, dim: int) -> float:
+    encoder = RecordEncoder.random(n, M, dim, rng=n)
+    surface, _ = expose_model(encoder, binary=True, rng=n + 1)
+    with Timer() as t:
+        run_reasoning_attack(surface, rng=n + 2)
+    return t.elapsed
+
+
+def test_attack_scaling_quadratic(benchmark, bench_scale):
+    """Time the attack across N in WIDTHS and fit the exponent."""
+
+    def run():
+        return {n: _attack_seconds(n, bench_scale.dim) for n in WIDTHS}
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for n, seconds in times.items():
+        print(f"  N={n:4d}: {seconds * 1e3:8.1f} ms")
+    # fit log(time) ~ alpha * log(N) over the largest span
+    alpha = math.log(times[WIDTHS[-1]] / times[WIDTHS[0]]) / math.log(
+        WIDTHS[-1] / WIDTHS[0]
+    )
+    print(f"  fitted exponent: {alpha:.2f} (theory: 2.0)")
+    assert 1.2 < alpha < 3.0
+    benchmark.extra_info["exponent"] = round(alpha, 3)
+    benchmark.extra_info["times_ms"] = {
+        n: round(s * 1e3, 1) for n, s in times.items()
+    }
+
+
+def test_guess_budget_matches_formula(benchmark, bench_scale):
+    """The executed guess count equals the N(N+1)/2 divide-and-conquer
+    budget the O(N^2) claim counts."""
+
+    def run():
+        encoder = RecordEncoder.random(128, M, bench_scale.dim, rng=0)
+        surface, _ = expose_model(encoder, binary=True, rng=1)
+        return run_reasoning_attack(surface, rng=2)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.total_guesses == 128 * 129 // 2

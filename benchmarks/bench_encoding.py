@@ -1,0 +1,57 @@
+"""Encoding-path benchmarks: software throughput vs the cycle model.
+
+The paper measures encoding overhead in FPGA clock cycles (Fig. 9); the
+software encoder here shows the same *relative* behavior — L = 1 costs
+the same as unprotected (derivation is cached/rotation-only), deeper
+keys only pay at derivation time, and the per-sample multiply-accumulate
+dominates — plus absolute per-sample figures for this machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.encoding.record import RecordEncoder
+from repro.hdlock.feature_factory import derive_feature_matrix
+from repro.hdlock.lock import create_locked_encoder
+
+N, M = 784, 16
+
+
+@pytest.fixture(scope="module")
+def dim(bench_scale):
+    return bench_scale.dim
+
+
+@pytest.fixture(scope="module")
+def sample(dim):
+    return np.random.default_rng(0).integers(0, M, N)
+
+
+def test_encode_single_plain(benchmark, dim, sample):
+    encoder = RecordEncoder.random(N, M, dim, rng=1)
+    benchmark(encoder.encode, sample, True)
+
+
+def test_encode_single_locked_l2(benchmark, dim, sample):
+    system = create_locked_encoder(N, M, dim, layers=2, rng=2)
+    benchmark(system.encoder.encode, sample, True)
+
+
+def test_encode_batch_plain(benchmark, dim):
+    encoder = RecordEncoder.random(N, M, dim, rng=3)
+    batch = np.random.default_rng(4).integers(0, M, (16, N))
+    benchmark(encoder.encode_batch, batch, True)
+
+
+@pytest.mark.parametrize("layers", [1, 2, 3, 5])
+def test_feature_derivation_cost(benchmark, dim, layers):
+    """Key-application cost: one gather-rotate-multiply pass per layer.
+
+    This is the work the FPGA bind unit pipelines; in software it is a
+    one-time cost per (pool, key) pair, linear in L.
+    """
+    system = create_locked_encoder(N, M, dim, layers=layers, rng=layers)
+    result = benchmark(derive_feature_matrix, system.base_pool, system.key)
+    np.testing.assert_array_equal(result, system.encoder.feature_matrix)

@@ -1,0 +1,32 @@
+"""Fig. 6 — HDLock security validation, non-binary model (four panels).
+
+Same setup as Fig. 5 but with the non-binary encoder: the criterion is
+cosine similarity, and the correct guess scores exactly 1 while wrong
+guesses hover near 0.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import DEFAULT_SEED
+from repro.experiments.fig56 import render_fig56, run_fig6
+
+
+def test_fig6_nonbinary_sweeps(benchmark, bench_scale):
+    """All four parameter sweeps of the non-binary model."""
+
+    def run():
+        return run_fig6(scale=bench_scale, seed=DEFAULT_SEED)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_fig56(result))
+
+    assert result.all_separated
+    for panel in result.panels:
+        assert panel.correct_score == pytest.approx(1.0)
+        assert panel.scores[1:].max() < 0.5
+    benchmark.extra_info["separations"] = [
+        round(p.separation, 4) for p in result.panels
+    ]

@@ -1,0 +1,34 @@
+"""Fig. 7 — attack-complexity landscape (analytic).
+
+Panel (a): guesses per feature over a (D, P) grid at L = 2. Panel (b):
+guesses vs L for several pool sizes. Also verifies the four complexity
+numbers the paper quotes for MNIST in Sec. 5.2 to < 1 % relative error.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig7 import render_fig7, run_fig7
+
+
+def test_fig7_complexity_series(benchmark):
+    """Both panels plus the quoted-number checkpoints."""
+    result = benchmark(run_fig7)
+    print()
+    print(render_fig7(result))
+
+    assert result.checkpoints_match
+    # monomial growth in 7a: fixing P, guesses scale with D^2 at L=2
+    by_pool = {}
+    for dim, pool, guesses in result.surface_7a:
+        by_pool.setdefault(pool, []).append((dim, guesses))
+    for pool, series in by_pool.items():
+        (d1, g1), (d2, g2) = series[0], series[-1]
+        assert g2 / g1 == (d2 / d1) ** 2
+    # exponential growth in 7b: constant ratio D*P between layers
+    for pool, curve in result.curves_7b.items():
+        values = [g for _, g in curve]
+        for a, b in zip(values, values[1:]):
+            assert b // a == 10_000 * pool
+    benchmark.extra_info["checkpoints"] = {
+        c.label: c.computed for c in result.checkpoints
+    }

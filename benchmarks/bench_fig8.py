@@ -1,0 +1,39 @@
+"""Fig. 8 — classification accuracy vs key depth L (0..5).
+
+Trains one model per (benchmark, flavor, L) and asserts the paper's
+finding: locking costs no accuracy at any depth (flat curves). At the
+reduced bench scale the test sets are small, so "flat" is asserted with
+a noise allowance; at ``REPRO_FULL_SCALE=1`` the curves tighten to the
+paper's <1 % band.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import DEFAULT_SEED
+from repro.experiments.fig8 import LAYER_RANGE, render_fig8, run_fig8
+
+#: Accuracy-drop allowance: generous at reduced scale (test splits of
+#: ~50 samples), tight at paper scale.
+NOISE_ALLOWANCE = {"reduced": 0.15, "test": 0.25, "full": 0.02}
+
+
+def test_fig8_accuracy_vs_layers(benchmark, bench_scale):
+    """Full sweep: 5 benchmarks x 2 flavors x 6 depths = 60 models."""
+
+    def run():
+        return run_fig8(scale=bench_scale, seed=DEFAULT_SEED)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_fig8(result))
+
+    allowance = NOISE_ALLOWANCE.get(bench_scale.name, 0.15)
+    benchmarks = sorted({c.benchmark for c in result.cells})
+    for name in benchmarks:
+        for binary in (False, True):
+            drop = result.max_accuracy_drop(name, binary)
+            assert drop < allowance, (
+                f"{name} binary={binary}: locked model lost {drop:.3f} "
+                f"accuracy vs L=0 (allowance {allowance})"
+            )
+    assert len(result.cells) == len(benchmarks) * 2 * len(LAYER_RANGE)

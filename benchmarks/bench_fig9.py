@@ -1,0 +1,34 @@
+"""Fig. 9 — relative encoding time vs key depth (cycle model).
+
+Regenerates the five benchmark curves from the datapath model at the
+paper's D = 10,000 and asserts its three observations: L = 1 is free,
+L = 2 costs ~21 %, growth is linear and dataset-independent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig9 import PAPER_L2_OVERHEAD, render_fig9, run_fig9
+
+
+def test_fig9_relative_encoding_time(benchmark):
+    """Cycle-model evaluation across all benchmark shapes and depths."""
+    result = benchmark(run_fig9)
+    print()
+    print(render_fig9(result))
+
+    for name, value in result.overhead_at(1).items():
+        assert value == pytest.approx(1.0), f"{name}: L=1 must be free"
+    for name, value in result.overhead_at(2).items():
+        assert value == pytest.approx(PAPER_L2_OVERHEAD, abs=0.02), (
+            f"{name}: L=2 overhead {value:.3f} vs paper 1.21"
+        )
+    # linearity: equal increments between consecutive depths
+    for name, curve in result.curves.items():
+        values = [v for _, v in sorted(curve)]
+        increments = [b - a for a, b in zip(values, values[1:])]
+        assert max(increments) - min(increments) < 1e-6
+    # dataset independence: curves nearly coincide
+    assert result.curve_spread_at_l2 < 0.02
+    benchmark.extra_info["l2_overhead"] = result.overhead_at(2)

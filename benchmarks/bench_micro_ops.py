@@ -1,0 +1,65 @@
+"""Micro-benchmarks of the hypervector substrate.
+
+Not a paper figure — these keep the primitive costs visible (the attack
+and the encoder are built from exactly these operations) and guard
+against performance regressions in the kernels the Table 1 timings
+depend on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hv.ops import bind, bundle, permute, sign
+from repro.hv.packing import pack, packed_hamming
+from repro.hv.random import random_pool
+from repro.hv.similarity import hamming, pairwise_hamming
+
+D = 10_000
+POOL = 784
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return random_pool(POOL, D, rng=0)
+
+
+@pytest.fixture(scope="module")
+def pair(pool):
+    return pool[0], pool[1]
+
+
+def test_bind_throughput(benchmark, pair):
+    a, b = pair
+    benchmark(bind, a, b)
+
+
+def test_bundle_pool(benchmark, pool):
+    benchmark(bundle, pool)
+
+
+def test_permute_throughput(benchmark, pair):
+    benchmark(permute, pair[0], 4321)
+
+
+def test_sign_with_ties(benchmark, pool):
+    accum = bundle(pool)
+    gen = np.random.default_rng(1)
+    benchmark(sign, accum, gen)
+
+
+def test_hamming_pool_vs_vector(benchmark, pool):
+    benchmark(hamming, pool, pool[0])
+
+
+def test_packed_hamming_pool_vs_vector(benchmark, pool):
+    packed = pack(pool)
+    row = pack(pool[0])
+    result = benchmark(packed_hamming, packed, row, D)
+    np.testing.assert_allclose(result, hamming(pool, pool[0]))
+
+
+def test_pairwise_hamming_value_pool(benchmark):
+    values = random_pool(16, D, rng=2)
+    benchmark(pairwise_hamming, values)

@@ -1,0 +1,33 @@
+"""Operating-envelope benches: where the Sec. 3 attack works and where
+reduced dimensionality erodes it (beyond the paper's figures)."""
+
+from __future__ import annotations
+
+from repro.experiments.config import DEFAULT_SEED
+from repro.experiments.sweeps import (
+    margin_vs_features,
+    recovery_vs_dim,
+    render_sweeps,
+)
+
+
+def test_recovery_and_margin_sweeps(benchmark):
+    """Recovery vs D and dip margin vs N, printed side by side."""
+
+    def run():
+        return (
+            recovery_vs_dim(seed=DEFAULT_SEED),
+            margin_vs_features(seed=DEFAULT_SEED),
+        )
+
+    recovery, margins = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_sweeps(recovery, margins))
+
+    # recovery saturates at 100 % once D dominates N
+    assert recovery[-1].feature_accuracy == 1.0
+    # the dip survives up to the widest tested model at D = 2048
+    assert all(p.separation > 0 for p in margins)
+    benchmark.extra_info["recovery"] = {
+        p.dim: p.feature_accuracy for p in recovery
+    }

@@ -1,0 +1,23 @@
+"""Benchmark-harness configuration.
+
+Every benchmark prints the same rows/series the paper reports (run with
+``-s`` to see them alongside pytest-benchmark's timing table). Heavy
+experiment benches run exactly once via ``benchmark.pedantic``; micro
+benches let pytest-benchmark auto-calibrate.
+
+Scale: benches default to the reduced experiment scale (D = 2048) so the
+whole suite finishes in minutes on one core. ``REPRO_FULL_SCALE=1``
+switches to the paper's D = 10,000.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """The experiment scale shared by all benchmark modules."""
+    from repro.experiments.config import active_scale
+
+    return active_scale()

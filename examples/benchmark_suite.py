@@ -1,0 +1,35 @@
+"""Mini evaluation suite: a fast pass over the paper's headline results.
+
+Runs a trimmed Table 1 (two benchmarks), the Fig. 7 complexity
+checkpoints, and the Fig. 9 latency curves — everything printable in
+about a minute. The full regeneration of every table and figure lives in
+``benchmarks/`` (pytest-benchmark) and ``python -m
+repro.experiments.runner``.
+
+    python examples/benchmark_suite.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import REDUCED_SCALE
+from repro.experiments.fig7 import render_fig7, run_fig7
+from repro.experiments.fig9 import render_fig9, run_fig9
+from repro.experiments.table1 import render_table1, run_table1
+
+
+def main() -> None:
+    print("[1/3] Table 1 (trimmed: ucihar + pamap, both flavors)")
+    rows = run_table1(
+        benchmarks=("ucihar", "pamap"), scale=REDUCED_SCALE, seed=3
+    )
+    print(render_table1(rows))
+
+    print("\n[2/3] Fig. 7 complexity checkpoints")
+    print(render_fig7(run_fig7()))
+
+    print("\n[3/3] Fig. 9 latency curves (cycle model)")
+    print(render_fig9(run_fig9()))
+
+
+if __name__ == "__main__":
+    main()

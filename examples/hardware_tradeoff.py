@@ -1,0 +1,105 @@
+"""Exploring the FPGA cost model behind Fig. 9.
+
+Prints the encoder cycle schedule, the relative-latency curves for the
+five benchmark shapes, resource estimates per key depth, and the
+secure-memory accounting that motivates the whole threat model (the key
+is kilobits; the hypervector memory is megabits).
+
+    python examples/hardware_tradeoff.py
+"""
+
+from __future__ import annotations
+
+from repro.data.benchmarks import BENCHMARK_ORDER, BENCHMARKS
+from repro.hardware import (
+    DatapathConfig,
+    encoding_cycles,
+    encoding_seconds,
+    estimate_resources,
+    key_to_model_ratio,
+    model_footprint,
+    relative_time_series,
+    render_resource_table,
+    schedule_encoder,
+)
+from repro.hdlock import generate_key
+from repro.utils.tables import render_table
+
+D = 10_000
+N = 784  # MNIST shape
+
+
+def main() -> None:
+    cfg = DatapathConfig()
+    print(
+        f"datapath: {cfg.accumulate_lanes} accumulate lanes, "
+        f"{cfg.bind_lanes} bind lanes, {cfg.clock_mhz:.0f} MHz"
+    )
+
+    # Per-feature schedule at L = 0 and L = 3.
+    for layers in (0, 3):
+        schedule = schedule_encoder(N, D, layers, cfg)
+        stages = ", ".join(
+            f"{s.name}={s.beats} beats" for s in schedule.stages
+        )
+        print(
+            f"L={layers}: {stages}; {schedule.cycles_per_sample} cycles "
+            f"({encoding_seconds(N, D, layers, cfg) * 1e6:.1f} us) per sample"
+        )
+
+    # Fig. 9 curves.
+    shapes = {name: BENCHMARKS[name].n_features for name in BENCHMARK_ORDER}
+    curves = relative_time_series(range(1, 6), shapes, D, cfg)
+    rows = [
+        [name.upper()] + [f"{value:.3f}" for _, value in curve]
+        for name, curve in curves.items()
+    ]
+    print()
+    print(
+        render_table(
+            ["benchmark"] + [f"L={l}" for l in range(1, 6)],
+            rows,
+            title="Relative encoding time (cycle-count ratio, Fig. 9)",
+        )
+    )
+
+    # Resource estimates.
+    print()
+    print(
+        render_resource_table(
+            [estimate_resources(N, 16, D, layers, cfg) for layers in range(6)]
+        )
+    )
+
+    # Secure-memory accounting: why only the mapping is protected.
+    footprint = model_footprint(N, 16, D, n_classes=10)
+    key = generate_key(N, 2, N, D, rng=0)
+    print(
+        f"\nmodel hypervector memory: {footprint.total_bytes / 1024:.0f} KiB "
+        f"packed; HDLock key: {key.storage_bits() / 1024:.1f} Kibit "
+        f"({key_to_model_ratio(key, footprint):.2%} of the model) — only "
+        f"the key fits in tamper-proof storage"
+    )
+
+    # Baseline cycle counts per benchmark, for context.
+    print()
+    rows = [
+        (
+            name.upper(),
+            BENCHMARKS[name].n_features,
+            encoding_cycles(BENCHMARKS[name].n_features, D, 0, cfg),
+            f"{encoding_seconds(BENCHMARKS[name].n_features, D, 0, cfg) * 1e6:.1f}",
+        )
+        for name in BENCHMARK_ORDER
+    ]
+    print(
+        render_table(
+            ["benchmark", "N", "cycles/sample", "us/sample"],
+            rows,
+            title="Baseline encoder latency (modeled)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so
+PEP 517/660 editable installs (which build a wheel) are unavailable.
+``pip install -e . --no-build-isolation --no-use-pep517`` uses this shim
+via ``setup.py develop``. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

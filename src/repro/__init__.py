@@ -1,0 +1,123 @@
+"""repro — reproduction of HDLock (Duan, Ren, Xu; DAC 2022).
+
+The package implements, from scratch and in pure Python/numpy:
+
+* a complete HDC classification stack (hypervector ops, item memories,
+  record/n-gram encoders, one-shot + retrained classifiers);
+* the paper's model-IP reasoning attack (value- and feature-hypervector
+  extraction via divide and conquer) plus model reconstruction;
+* the HDLock defense (keyed combination-and-permutation feature
+  derivation) with key management and security analysis;
+* a cycle-level cost model of the FPGA encoder datapath used for the
+  latency-overhead evaluation;
+* synthetic stand-ins for the five evaluation datasets, and experiment
+  modules regenerating every table and figure of the paper.
+
+Quickstart::
+
+    from repro import (
+        RecordEncoder, train_model, load_benchmark,
+        expose_model, run_reasoning_attack, lock_encoder,
+    )
+
+    ds = load_benchmark("pamap", rng=0)
+    encoder = RecordEncoder.random(ds.n_features, ds.levels, dim=4096, rng=0)
+    model = train_model(encoder, ds.train_x, ds.train_y, ds.n_classes).model
+
+    surface, truth = expose_model(encoder, rng=1)      # deploy (threat model)
+    result = run_reasoning_attack(surface)             # steal the mapping
+    locked = lock_encoder(encoder, layers=2, rng=2)    # defend
+"""
+
+from repro.attack import (
+    AttackSurface,
+    GroundTruth,
+    LockedSurface,
+    ReasoningResult,
+    evaluate_theft,
+    expose_locked_model,
+    expose_model,
+    guess_distance_series,
+    hdlock_total_guesses,
+    plain_total_guesses,
+    reconstruct_encoder,
+    run_reasoning_attack,
+    security_improvement,
+    sweep_parameter,
+    verify_mapping,
+)
+from repro.data import Dataset, SyntheticSpec, load_benchmark, make_dataset
+from repro.encoding import (
+    EncodingOracle,
+    LockedEncoder,
+    NGramEncoder,
+    RecordEncoder,
+)
+from repro.errors import ReproError
+from repro.hardware import DatapathConfig, encoding_cycles, relative_encoding_time
+from repro.hdlock import (
+    LockedSystem,
+    create_locked_encoder,
+    generate_key,
+    lock_encoder,
+    lock_model,
+    security_level_bits,
+    tradeoff_table,
+)
+from repro.hv import DEFAULT_DIM
+from repro.memory import FeatureMemory, LevelMemory, LockKey, SecureMemory, SubKey
+from repro.model import HDClassifier, train_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "DEFAULT_DIM",
+    # memories and keys
+    "FeatureMemory",
+    "LevelMemory",
+    "LockKey",
+    "SubKey",
+    "SecureMemory",
+    # encoders and models
+    "RecordEncoder",
+    "LockedEncoder",
+    "NGramEncoder",
+    "EncodingOracle",
+    "HDClassifier",
+    "train_model",
+    # datasets
+    "Dataset",
+    "SyntheticSpec",
+    "make_dataset",
+    "load_benchmark",
+    # attack
+    "AttackSurface",
+    "LockedSurface",
+    "GroundTruth",
+    "expose_model",
+    "expose_locked_model",
+    "run_reasoning_attack",
+    "ReasoningResult",
+    "verify_mapping",
+    "guess_distance_series",
+    "reconstruct_encoder",
+    "evaluate_theft",
+    "sweep_parameter",
+    "plain_total_guesses",
+    "hdlock_total_guesses",
+    "security_improvement",
+    # defense
+    "generate_key",
+    "create_locked_encoder",
+    "lock_encoder",
+    "lock_model",
+    "LockedSystem",
+    "security_level_bits",
+    "tradeoff_table",
+    # hardware model
+    "DatapathConfig",
+    "encoding_cycles",
+    "relative_encoding_time",
+]

@@ -1,0 +1,10 @@
+"""``python -m repro`` — convenience entry to the experiment runner.
+
+Equivalent to ``python -m repro.experiments.runner``; see that module
+for options (``--only``, ``--seed``, ``REPRO_FULL_SCALE=1``).
+"""
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

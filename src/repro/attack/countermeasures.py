@@ -1,0 +1,138 @@
+"""Runtime detection of reasoning-attack query patterns.
+
+HDLock makes the mapping search computationally infeasible; a deployed
+device can *additionally* notice that it is being probed. The Sec. 3
+attack has a rigid query signature:
+
+* one **constant** query (every feature at the same level — the Eq. 5
+  value-extraction probe), then
+* a stream of **one-hot** queries (exactly one feature off the common
+  level — the Eq. 7 feature probes), typically walking every feature
+  once.
+
+Benign inputs are overwhelmingly unlikely to look like this: a real
+sample has feature levels spread over many values. :class:`QueryMonitor`
+scores each query's *level concentration* and raises an alert once the
+observed stream crosses a budget of near-degenerate queries. It is a
+rate/shape detector in the spirit of model-extraction monitors for DNNs
+(e.g. PRADA), adapted to the HDC input domain.
+
+This is an extension beyond the paper (its conclusion calls for more
+attention to protecting the encoding module); it composes with HDLock
+rather than replacing it — detection can throttle or re-key long before
+the `(D*P)^L` search makes progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class QueryAssessment:
+    """Per-query verdict of the monitor."""
+
+    concentration: float
+    suspicious: bool
+    alert: bool
+
+
+@dataclass
+class QueryMonitor:
+    """Streaming detector for degenerate (attack-shaped) query patterns.
+
+    ``concentration`` of a query is the fraction of features sharing the
+    query's modal level; 1.0 for the constant probe, ``(N-1)/N`` for the
+    one-hot probes, and far lower for natural inputs over ``M`` levels.
+    A query is *suspicious* above ``concentration_threshold``; an
+    *alert* fires when more than ``budget`` suspicious queries are seen
+    within the last ``window`` queries.
+    """
+
+    n_features: int
+    levels: int
+    #: Concentration above which a single query counts as suspicious.
+    concentration_threshold: float = 0.9
+    #: Sliding-window length (queries).
+    window: int = 64
+    #: Suspicious-query budget within one window before alerting.
+    budget: int = 8
+    _history: list[bool] = field(default_factory=list)
+    #: Total queries seen.
+    seen: int = 0
+    #: Total suspicious queries seen.
+    suspicious_total: int = 0
+    #: Whether the alert has fired at least once.
+    alerted: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_features < 1 or self.levels < 2:
+            raise ConfigurationError(
+                f"degenerate monitor shape N={self.n_features}, "
+                f"M={self.levels}"
+            )
+        if not 0.0 < self.concentration_threshold <= 1.0:
+            raise ConfigurationError(
+                "concentration_threshold must be in (0, 1], got "
+                f"{self.concentration_threshold}"
+            )
+        if self.window < 1 or self.budget < 1:
+            raise ConfigurationError(
+                f"window and budget must be >= 1, got {self.window}, "
+                f"{self.budget}"
+            )
+
+    def concentration(self, sample: np.ndarray) -> float:
+        """Fraction of features at the query's most common level."""
+        arr = np.asarray(sample)
+        if arr.shape != (self.n_features,):
+            raise ConfigurationError(
+                f"query shape {arr.shape} != ({self.n_features},)"
+            )
+        counts = np.bincount(arr.astype(np.int64), minlength=self.levels)
+        return float(counts.max()) / self.n_features
+
+    def observe(self, sample: np.ndarray) -> QueryAssessment:
+        """Score one query and update the sliding window."""
+        conc = self.concentration(sample)
+        suspicious = conc >= self.concentration_threshold
+        self.seen += 1
+        self.suspicious_total += int(suspicious)
+        self._history.append(suspicious)
+        if len(self._history) > self.window:
+            self._history.pop(0)
+        alert = sum(self._history) > self.budget
+        if alert:
+            self.alerted = True
+        return QueryAssessment(
+            concentration=conc, suspicious=suspicious, alert=alert
+        )
+
+    def observe_batch(self, samples: np.ndarray) -> list[QueryAssessment]:
+        """Score a batch of queries in arrival order."""
+        return [self.observe(row) for row in np.asarray(samples)]
+
+    @property
+    def suspicious_rate(self) -> float:
+        """Lifetime fraction of suspicious queries."""
+        return self.suspicious_total / self.seen if self.seen else 0.0
+
+
+def attack_query_stream(
+    n_features: int, levels: int, features: int | None = None
+) -> np.ndarray:
+    """The exact query sequence the Sec. 3 attack sends.
+
+    One all-minimum probe followed by one one-hot-maximum probe per
+    attacked feature — used by tests and demos to exercise the monitor
+    with ground-truth attack traffic.
+    """
+    count = n_features if features is None else features
+    queries = np.zeros((1 + count, n_features), dtype=np.int64)
+    for i in range(count):
+        queries[1 + i, i] = levels - 1
+    return queries

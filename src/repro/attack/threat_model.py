@@ -1,0 +1,180 @@
+"""Attacker's view of a deployed HDC model (paper Sec. 3.1).
+
+The adversary gets exactly two capabilities:
+
+1. read the **unindexed** hypervector pools from public memory — the
+   rows are published shuffled, so positions carry no mapping
+   information;
+2. drive the deployed encoder with crafted inputs through the
+   :class:`~repro.encoding.oracle.EncodingOracle` and observe outputs.
+
+:func:`expose_model` performs the owner-side deployment: it shuffles the
+memories into :class:`~repro.memory.secure.PublicMemory`, provisions the
+placements into :class:`~repro.memory.secure.SecureMemory`, and hands
+back the attacker-visible surface plus the owner-side ground truth
+(which tests and Table 1 evaluation use — attack code never touches it).
+
+:func:`expose_locked_model` is the HDLock variant (Sec. 4.2): the base
+pool is public, the *value* mapping is assumed already known to the
+attacker (the paper's strong attack model — ValHVs are unprotected), and
+the key sits in secure memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.encoding.locked import LockedEncoder
+from repro.encoding.oracle import EncodingOracle
+from repro.encoding.record import RecordEncoder
+from repro.memory.secure import PublicMemory, SecureMemory
+from repro.utils.rng import SeedLike, resolve_rng
+
+
+@dataclass(frozen=True)
+class AttackSurface:
+    """Everything the adversary can see of an unprotected model."""
+
+    #: Shuffled copies of the published pools (the attacker reads these
+    #: out of :class:`PublicMemory`; they are materialized here so attack
+    #: code is a pure function of its inputs).
+    feature_pool: np.ndarray
+    value_pool: np.ndarray
+    oracle: EncodingOracle
+
+    @property
+    def n_features(self) -> int:
+        """Input width ``N`` (public device interface)."""
+        return self.oracle.n_features
+
+    @property
+    def levels(self) -> int:
+        """Value levels ``M`` (public device interface)."""
+        return self.oracle.levels
+
+    @property
+    def dim(self) -> int:
+        """Hypervector dimensionality ``D`` (visible on outputs)."""
+        return self.oracle.dim
+
+    @property
+    def binary(self) -> bool:
+        """Whether the deployed encoder binarizes outputs."""
+        return self.oracle.binary
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Owner-side mapping information (never given to attack code).
+
+    ``feature_assignment[i]`` is the public-pool row index that truly is
+    ``FeaHV_{i+1}``; ``value_assignment[v]`` likewise for ``ValHV_{v+1}``.
+    """
+
+    feature_assignment: np.ndarray
+    value_assignment: np.ndarray
+    secure_memory: SecureMemory
+
+
+def _placement_to_assignment(placement: np.ndarray) -> np.ndarray:
+    """Invert a publish placement into an index-to-row assignment.
+
+    ``placement[j] = i`` means published row ``j`` holds true index
+    ``i``; the assignment maps the other way: ``assignment[i] = j``.
+    """
+    assignment = np.empty_like(placement)
+    assignment[placement] = np.arange(placement.shape[0])
+    return assignment
+
+
+def expose_model(
+    encoder: RecordEncoder,
+    binary: bool = True,
+    rng: SeedLike = None,
+) -> tuple[AttackSurface, GroundTruth]:
+    """Deploy an unprotected model per the threat model and expose it."""
+    gen = resolve_rng(rng)
+    feature_public, feature_placement = PublicMemory.publish(
+        encoder.feature_memory.matrix, gen, label="feature-pool"
+    )
+    value_public, value_placement = PublicMemory.publish(
+        encoder.level_memory.matrix, gen, label="value-pool"
+    )
+    secure = SecureMemory()
+    secure.store("feature_placement", feature_placement)
+    secure.store("value_placement", value_placement)
+
+    surface = AttackSurface(
+        feature_pool=feature_public.rows,
+        value_pool=value_public.rows,
+        oracle=EncodingOracle(encoder, binary=binary),
+    )
+    truth = GroundTruth(
+        feature_assignment=_placement_to_assignment(feature_placement),
+        value_assignment=_placement_to_assignment(value_placement),
+        secure_memory=secure,
+    )
+    return surface, truth
+
+
+@dataclass(frozen=True)
+class LockedSurface:
+    """Attacker's view of an HDLock deployment (strong model, Sec. 4.2).
+
+    The base pool is public and **unordered knowledge of it suffices**
+    (its indexing is part of the key, not of the pool). The value matrix
+    is exposed *in level order*: the paper grants the attacker the full
+    ValHV mapping to isolate the hardness of the feature key.
+    """
+
+    base_pool: np.ndarray
+    value_matrix: np.ndarray
+    oracle: EncodingOracle
+
+    @property
+    def n_features(self) -> int:
+        """Input width ``N``."""
+        return self.oracle.n_features
+
+    @property
+    def levels(self) -> int:
+        """Value levels ``M``."""
+        return self.oracle.levels
+
+    @property
+    def dim(self) -> int:
+        """Hypervector dimensionality ``D``."""
+        return self.oracle.dim
+
+    @property
+    def pool_size(self) -> int:
+        """Published base-pool size ``P``."""
+        return int(self.base_pool.shape[0])
+
+    @property
+    def binary(self) -> bool:
+        """Whether the deployed encoder binarizes outputs."""
+        return self.oracle.binary
+
+
+def expose_locked_model(
+    encoder: LockedEncoder,
+    binary: bool = True,
+) -> tuple[LockedSurface, SecureMemory]:
+    """Deploy an HDLock model: publish pool + value matrix, lock the key.
+
+    Unlike :func:`expose_model`, the base pool is published *unshuffled*:
+    its row positions carry no mapping information by design — which base
+    serves which feature (and under which rotation) is exactly what the
+    key encodes, and the key never leaves secure memory.
+    """
+    secure = SecureMemory()
+    secure.store("lock_key", encoder.key)
+    surface = LockedSurface(
+        base_pool=encoder.base_pool,
+        value_matrix=encoder.level_memory.matrix,
+        oracle=EncodingOracle(encoder, binary=binary),
+    )
+    return surface, secure

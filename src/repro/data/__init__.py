@@ -1,0 +1,30 @@
+"""Datasets: synthetic benchmark generators, quantization, splits."""
+
+from repro.data.benchmarks import (
+    BENCHMARK_ORDER,
+    BENCHMARKS,
+    PAPER_REFERENCE,
+    PaperReference,
+    benchmark_spec,
+    load_benchmark,
+)
+from repro.data.quantize import dequantize, level_bounds, quantize_minmax
+from repro.data.splits import stratified_indices, train_test_split
+from repro.data.synthetic import Dataset, SyntheticSpec, make_dataset
+
+__all__ = [
+    "Dataset",
+    "SyntheticSpec",
+    "make_dataset",
+    "BENCHMARKS",
+    "BENCHMARK_ORDER",
+    "PAPER_REFERENCE",
+    "PaperReference",
+    "benchmark_spec",
+    "load_benchmark",
+    "quantize_minmax",
+    "dequantize",
+    "level_bounds",
+    "train_test_split",
+    "stratified_indices",
+]

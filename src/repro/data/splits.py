@@ -1,0 +1,56 @@
+"""Dataset splitting helpers (for user-supplied raw data)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionMismatchError
+from repro.utils.rng import SeedLike, resolve_rng
+
+
+def train_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.25,
+    rng: SeedLike = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split ``(x, y)`` into train/test partitions.
+
+    Returns ``(train_x, train_y, test_x, test_y)``. ``test_fraction``
+    must leave at least one sample on each side.
+    """
+    x_arr = np.asarray(x)
+    y_arr = np.asarray(y)
+    if x_arr.shape[0] != y_arr.shape[0]:
+        raise DimensionMismatchError(
+            f"x has {x_arr.shape[0]} rows but y has {y_arr.shape[0]}"
+        )
+    count = x_arr.shape[0]
+    n_test = int(round(count * test_fraction))
+    if not 0 < n_test < count:
+        raise ConfigurationError(
+            f"test_fraction={test_fraction} leaves an empty split for "
+            f"{count} samples"
+        )
+    order = resolve_rng(rng).permutation(count)
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return x_arr[train_idx], y_arr[train_idx], x_arr[test_idx], y_arr[test_idx]
+
+
+def stratified_indices(labels: np.ndarray, per_class: int, rng: SeedLike = None) -> np.ndarray:
+    """Pick ``per_class`` sample indices from every class.
+
+    Raises when a class has fewer than ``per_class`` members, so silent
+    class imbalance cannot slip into an experiment.
+    """
+    y = np.asarray(labels)
+    gen = resolve_rng(rng)
+    chosen: list[np.ndarray] = []
+    for cls in np.unique(y):
+        members = np.flatnonzero(y == cls)
+        if members.size < per_class:
+            raise ConfigurationError(
+                f"class {cls} has only {members.size} samples, need {per_class}"
+            )
+        chosen.append(gen.choice(members, size=per_class, replace=False))
+    return np.sort(np.concatenate(chosen))

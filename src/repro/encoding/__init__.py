@@ -1,0 +1,15 @@
+"""Encoding modules: plain record, HDLock-locked, n-gram, and the oracle."""
+
+from repro.encoding.base import Encoder
+from repro.encoding.locked import LockedEncoder
+from repro.encoding.ngram import NGramEncoder
+from repro.encoding.oracle import EncodingOracle
+from repro.encoding.record import RecordEncoder
+
+__all__ = [
+    "Encoder",
+    "RecordEncoder",
+    "LockedEncoder",
+    "NGramEncoder",
+    "EncodingOracle",
+]

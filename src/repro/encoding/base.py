@@ -1,0 +1,118 @@
+"""Encoder interface and the shared record-encoding arithmetic.
+
+Every encoder in this library maps a *discretized* sample — a length-``N``
+integer vector of value levels in ``[0, M)`` — to a ``D``-dimensional
+hypervector. The two concrete encoders (plain record-based and HDLock)
+differ only in where their feature hypervectors come from, so the
+multiply-accumulate of Eq. 2/3 lives here once::
+
+    H_nb = sum_i ValHV[f_i] * FeaHV_i          (non-binary)
+    H_b  = sign(H_nb)                           (binary)
+
+Samples are validated to be in range; quantization of raw real-valued
+data to levels is :mod:`repro.data.quantize`'s job.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionMismatchError
+from repro.hv.ops import ACCUM_DTYPE, sign
+from repro.memory.item_memory import LevelMemory
+from repro.utils.rng import SeedLike, resolve_rng
+
+
+class Encoder(abc.ABC):
+    """Base class for record encoders over a fixed level memory.
+
+    Subclasses provide :attr:`feature_matrix`; this class implements the
+    encoding arithmetic, input validation, and batching.
+    """
+
+    def __init__(self, level_memory: LevelMemory, rng: SeedLike = None) -> None:
+        self.level_memory = level_memory
+        #: Generator used exclusively for sign(0) tie-breaking (Eq. 3).
+        self._tie_rng = resolve_rng(rng)
+
+    @property
+    @abc.abstractmethod
+    def feature_matrix(self) -> np.ndarray:
+        """The ``(N, D)`` feature hypervectors this encoder multiplies in."""
+
+    @property
+    def n_features(self) -> int:
+        """Number of input features ``N``."""
+        return int(self.feature_matrix.shape[0])
+
+    @property
+    def levels(self) -> int:
+        """Number of discretized value levels ``M``."""
+        return self.level_memory.levels
+
+    @property
+    def dim(self) -> int:
+        """Hypervector dimensionality ``D``."""
+        return self.level_memory.dim
+
+    def _check_sample(self, sample: np.ndarray) -> np.ndarray:
+        arr = np.asarray(sample)
+        if arr.shape[-1] != self.n_features:
+            raise DimensionMismatchError(
+                f"sample has {arr.shape[-1]} features, encoder expects "
+                f"{self.n_features}"
+            )
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise ConfigurationError(
+                "samples must be integer level indices; quantize raw values "
+                "with repro.data.quantize first"
+            )
+        if arr.size and (arr.min() < 0 or arr.max() >= self.levels):
+            raise ConfigurationError(
+                f"level indices must lie in [0, {self.levels}), got range "
+                f"[{arr.min()}, {arr.max()}]"
+            )
+        return arr
+
+    def encode_nonbinary(self, sample: np.ndarray) -> np.ndarray:
+        """Encode one sample to its integer accumulation ``H_nb`` (Eq. 2)."""
+        arr = self._check_sample(sample)
+        if arr.ndim != 1:
+            raise DimensionMismatchError(
+                f"encode_nonbinary takes one (N,) sample, got shape {arr.shape}"
+            )
+        value_rows = self.level_memory.matrix[arr]
+        return np.einsum(
+            "nd,nd->d",
+            value_rows.astype(np.int32, copy=False),
+            self.feature_matrix.astype(np.int32, copy=False),
+            dtype=ACCUM_DTYPE,
+        )
+
+    def encode(self, sample: np.ndarray, binary: bool = True) -> np.ndarray:
+        """Encode one sample; binarize with random tie-break if ``binary``."""
+        accum = self.encode_nonbinary(sample)
+        if not binary:
+            return accum
+        return sign(accum, self._tie_rng)
+
+    def encode_batch(self, samples: np.ndarray, binary: bool = True) -> np.ndarray:
+        """Encode a ``(B, N)`` batch into a ``(B, D)`` matrix.
+
+        Samples are processed one at a time: the intermediate
+        ``(B, N, D)`` gather of a fully vectorized version would need
+        gigabytes at paper scale, and the per-sample einsum is already
+        memory-bandwidth-bound.
+        """
+        arr = self._check_sample(samples)
+        if arr.ndim != 2:
+            raise DimensionMismatchError(
+                f"encode_batch takes a (B, N) matrix, got shape {arr.shape}"
+            )
+        dtype = np.int8 if binary else ACCUM_DTYPE
+        out = np.empty((arr.shape[0], self.dim), dtype=dtype)
+        for b in range(arr.shape[0]):
+            out[b] = self.encode(arr[b], binary=binary)
+        return out

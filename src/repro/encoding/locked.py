@@ -1,0 +1,70 @@
+"""The HDLock encoder (paper Sec. 4, Fig. 4).
+
+Instead of reading ``FeaHV_i`` from an indexed memory, the locked encoder
+*derives* it on the fly from the public base pool and the secret key
+(Eq. 9), then performs the ordinary record encoding (Eq. 10). The derived
+matrix is cached: deriving it is pure function of (pool, key), and the
+hardware pipelines the derivation anyway, so caching changes nothing
+observable while keeping software encoding fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoding.base import Encoder
+from repro.errors import DimensionMismatchError
+from repro.memory.item_memory import LevelMemory
+from repro.memory.key import LockKey
+from repro.utils.rng import SeedLike
+
+
+class LockedEncoder(Encoder):
+    """Record encoder whose feature HVs come from ``(base pool, key)``."""
+
+    def __init__(
+        self,
+        base_pool: np.ndarray,
+        level_memory: LevelMemory,
+        key: LockKey,
+        rng: SeedLike = None,
+    ) -> None:
+        pool = np.asarray(base_pool)
+        if pool.ndim != 2 or pool.shape[1] != level_memory.dim:
+            raise DimensionMismatchError(
+                f"base pool shape {pool.shape} incompatible with level "
+                f"memory D={level_memory.dim}"
+            )
+        # Imported here, not at module scope: repro.hdlock's package
+        # initializer imports this module (its high-level API constructs
+        # LockedEncoders), so a top-level import would be circular.
+        from repro.hdlock.feature_factory import derive_feature_matrix
+
+        super().__init__(level_memory, rng)
+        self.base_pool = pool
+        self.key = key
+        self._derived = derive_feature_matrix(pool, key)
+
+    @property
+    def feature_matrix(self) -> np.ndarray:
+        """The derived ``(N, D)`` locked feature hypervectors (Eq. 9)."""
+        return self._derived
+
+    @property
+    def layers(self) -> int:
+        """Key depth ``L`` of this encoder."""
+        return self.key.layers
+
+    @property
+    def pool_size(self) -> int:
+        """Base pool size ``P``."""
+        return self.key.pool_size
+
+    def rekey(self, key: LockKey, rng: SeedLike = None) -> "LockedEncoder":
+        """Return a new encoder over the same pool with a different key.
+
+        Re-keying invalidates any trained class hypervectors (they were
+        accumulated under the old feature HVs); callers are expected to
+        retrain, see :func:`repro.hdlock.lock.lock_model`.
+        """
+        return LockedEncoder(self.base_pool, self.level_memory, key, rng)

@@ -1,0 +1,116 @@
+"""N-gram (sequence) encoding — an extension beyond the paper's record
+encoder.
+
+HDC commonly encodes sequences (text, DNA, sensor streams) by binding
+``n`` consecutive symbol hypervectors, each rotated by its position, and
+bundling all n-grams::
+
+    H = sum_t  prod_{j=0..n-1} rho^j( ItemHV[s_{t+j}] )
+
+The paper's attack surface (an item memory whose index mapping is
+secret) exists here too, and HDLock applies unchanged: replace the item
+memory lookup with a key-derived product. :class:`NGramEncoder` supports
+both modes so the examples can demonstrate locking a sequence model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionMismatchError
+from repro.hv.ops import ACCUM_DTYPE, BIPOLAR_DTYPE, permute, sign
+from repro.memory.key import LockKey
+from repro.utils.rng import SeedLike, resolve_rng
+
+
+class NGramEncoder:
+    """Encode symbol sequences with rotated n-gram binding.
+
+    ``item_memory`` is an ``(A, D)`` matrix with one hypervector per
+    alphabet symbol. When ``key`` (plus ``base_pool``) is given the item
+    hypervectors are HDLock-derived instead of stored, locking the
+    alphabet mapping exactly like the record encoder's feature mapping.
+    """
+
+    def __init__(
+        self,
+        item_memory: np.ndarray | None = None,
+        n: int = 3,
+        rng: SeedLike = None,
+        base_pool: np.ndarray | None = None,
+        key: LockKey | None = None,
+    ) -> None:
+        if n < 1:
+            raise ConfigurationError(f"n-gram size must be >= 1, got {n}")
+        if (key is None) != (base_pool is None):
+            raise ConfigurationError("base_pool and key must be given together")
+        if key is not None:
+            # Deferred import: repro.hdlock's initializer imports the
+            # encoding package, so a module-scope import would cycle.
+            from repro.hdlock.feature_factory import derive_feature_matrix
+
+            self._items = derive_feature_matrix(np.asarray(base_pool), key)
+        elif item_memory is not None:
+            self._items = np.asarray(item_memory)
+        else:
+            raise ConfigurationError("need either item_memory or (base_pool, key)")
+        if self._items.ndim != 2:
+            raise DimensionMismatchError(
+                f"item memory must be (A, D), got {self._items.shape}"
+            )
+        self.n = n
+        self.locked = key is not None
+        self._tie_rng = resolve_rng(rng)
+
+    @property
+    def alphabet_size(self) -> int:
+        """Number of symbols ``A`` in the item memory."""
+        return int(self._items.shape[0])
+
+    @property
+    def dim(self) -> int:
+        """Hypervector dimensionality ``D``."""
+        return int(self._items.shape[1])
+
+    @property
+    def item_matrix(self) -> np.ndarray:
+        """The (possibly key-derived) ``(A, D)`` item hypervectors."""
+        return self._items
+
+    def _check_sequence(self, seq: np.ndarray) -> np.ndarray:
+        arr = np.asarray(seq)
+        if arr.ndim != 1:
+            raise DimensionMismatchError(f"sequence must be 1-D, got {arr.shape}")
+        if arr.shape[0] < self.n:
+            raise ConfigurationError(
+                f"sequence of length {arr.shape[0]} shorter than n={self.n}"
+            )
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise ConfigurationError("sequences must contain integer symbol ids")
+        if arr.min() < 0 or arr.max() >= self.alphabet_size:
+            raise ConfigurationError(
+                f"symbol ids must lie in [0, {self.alphabet_size})"
+            )
+        return arr
+
+    def encode_nonbinary(self, seq: np.ndarray) -> np.ndarray:
+        """Bundle all rotated n-gram bindings of ``seq`` (integer output)."""
+        arr = self._check_sequence(seq)
+        length = arr.shape[0]
+        n_grams = length - self.n + 1
+        # Rotate the whole item matrix once per in-gram position, then
+        # gather: cheaper than rotating per (t, j) pair.
+        rotated = [permute(self._items, j) for j in range(self.n)]
+        grams = np.ones((n_grams, self.dim), dtype=BIPOLAR_DTYPE)
+        for j in range(self.n):
+            grams = np.multiply(
+                grams, rotated[j][arr[j : j + n_grams]], dtype=BIPOLAR_DTYPE
+            )
+        return grams.sum(axis=0, dtype=ACCUM_DTYPE)
+
+    def encode(self, seq: np.ndarray, binary: bool = True) -> np.ndarray:
+        """Encode a sequence; binarize with random tie-break if ``binary``."""
+        accum = self.encode_nonbinary(seq)
+        if not binary:
+            return accum
+        return sign(accum, self._tie_rng)

@@ -1,0 +1,56 @@
+"""The attacker-facing encoding oracle.
+
+The threat model (Sec. 3.1) lets the adversary "craft his/her own inputs
+and observe the encoding outputs". :class:`EncodingOracle` is that
+capability and nothing more: it wraps an encoder, exposes only
+``query``/``query_batch`` plus the public shape parameters, and counts
+queries so experiments can report attack cost in oracle calls as well as
+wall-clock time.
+
+Attack code in :mod:`repro.attack` receives *only* an oracle and public
+memory — never the encoder object — so the separation is enforced by
+construction, not just convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoding.base import Encoder
+
+
+class EncodingOracle:
+    """Query interface over a deployed encoding module."""
+
+    def __init__(self, encoder: Encoder, binary: bool = True) -> None:
+        self._encoder = encoder
+        #: Whether the deployed model binarizes its encodings (Eq. 3).
+        self.binary = binary
+        #: Number of single-sample queries served so far.
+        self.n_queries = 0
+
+    @property
+    def n_features(self) -> int:
+        """Input width ``N`` — public: the device's input format."""
+        return self._encoder.n_features
+
+    @property
+    def levels(self) -> int:
+        """Value levels ``M`` — public: the device's input quantization."""
+        return self._encoder.levels
+
+    @property
+    def dim(self) -> int:
+        """Output dimensionality ``D`` — public: visible on the output."""
+        return self._encoder.dim
+
+    def query(self, sample: np.ndarray) -> np.ndarray:
+        """Encode one crafted sample and return the observable output."""
+        self.n_queries += 1
+        return self._encoder.encode(np.asarray(sample), binary=self.binary)
+
+    def query_batch(self, samples: np.ndarray) -> np.ndarray:
+        """Encode a batch of crafted samples (counted per sample)."""
+        arr = np.asarray(samples)
+        self.n_queries += int(arr.shape[0])
+        return self._encoder.encode_batch(arr, binary=self.binary)

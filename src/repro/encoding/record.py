@@ -1,0 +1,64 @@
+"""The standard (unprotected) record-based encoder of paper Sec. 2.
+
+Feature hypervectors are read directly from an indexed
+:class:`~repro.memory.item_memory.FeatureMemory` — precisely the design
+whose index mapping the reasoning attack of Sec. 3 recovers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoding.base import Encoder
+from repro.errors import DimensionMismatchError
+from repro.memory.item_memory import FeatureMemory, LevelMemory
+from repro.utils.rng import SeedLike
+
+
+class RecordEncoder(Encoder):
+    """Record-based encoding with explicit feature and level memories.
+
+    ``encode`` computes Eq. 2 (and Eq. 3 when ``binary=True``) using
+    ``feature_memory.matrix`` row ``i`` as ``FeaHV_{i+1}``.
+    """
+
+    def __init__(
+        self,
+        feature_memory: FeatureMemory,
+        level_memory: LevelMemory,
+        rng: SeedLike = None,
+    ) -> None:
+        if feature_memory.dim != level_memory.dim:
+            raise DimensionMismatchError(
+                f"feature memory D={feature_memory.dim} but level memory "
+                f"D={level_memory.dim}"
+            )
+        super().__init__(level_memory, rng)
+        self.feature_memory = feature_memory
+
+    @classmethod
+    def random(
+        cls,
+        n_features: int,
+        levels: int,
+        dim: int,
+        rng: SeedLike = None,
+    ) -> "RecordEncoder":
+        """Build an encoder with freshly generated memories.
+
+        One seed argument drives three independent streams (feature
+        memory, level memory, tie-breaking) so results are reproducible.
+        """
+        from repro.utils.rng import spawn_rngs
+
+        feat_rng, level_rng, tie_rng = spawn_rngs(rng, 3)
+        return cls(
+            FeatureMemory.random(n_features, dim, feat_rng),
+            LevelMemory.random(levels, dim, level_rng),
+            rng=tie_rng,
+        )
+
+    @property
+    def feature_matrix(self) -> np.ndarray:
+        """The indexed ``(N, D)`` feature hypervector matrix."""
+        return self.feature_memory.matrix

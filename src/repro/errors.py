@@ -1,0 +1,38 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError`, so callers can catch one type at the API boundary.
+The subclasses mirror the major subsystems: hypervector math, the
+secure/public memory model of the threat model, HDLock keys, and the
+reasoning attack.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DimensionMismatchError(ReproError):
+    """Two hypervectors (or pools) with incompatible dimensions were mixed."""
+
+
+class NotBipolarError(ReproError):
+    """An operation expected a bipolar ({-1, +1}) hypervector."""
+
+
+class SecureMemoryError(ReproError):
+    """Illegal access to tamper-proof memory (e.g. probing from attacker code)."""
+
+
+class KeyFormatError(ReproError):
+    """An HDLock key is malformed or inconsistent with its pool/dimension."""
+
+
+class AttackError(ReproError):
+    """The reasoning attack could not complete (e.g. ambiguous extremes)."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment / hardware / dataset configuration is invalid."""

@@ -1,0 +1,73 @@
+"""Experiment scaling: paper-scale vs container-scale runs.
+
+The paper ran on a 3.60 GHz i7 with ``D = 10,000`` and full datasets;
+this reproduction usually runs on small CI-like machines, so every
+experiment accepts an :class:`ExperimentScale` and defaults to a reduced
+configuration that finishes in minutes while preserving every *shape*
+conclusion (who wins, by what factor, where trends bend). Setting the
+environment variable ``REPRO_FULL_SCALE=1`` switches the default to
+paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.utils.rng import DEFAULT_SEED
+
+__all__ = [
+    "ExperimentScale",
+    "REDUCED_SCALE",
+    "FULL_SCALE",
+    "active_scale",
+    "DEFAULT_SEED",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs shared by all experiment runners."""
+
+    name: str
+    #: Hypervector dimensionality ``D``.
+    dim: int
+    #: Fraction of each benchmark's train/test samples to generate.
+    sample_scale: float
+    #: Retraining epochs for model training runs.
+    retrain_epochs: int
+    #: Cap on wrong-guess candidates in Fig. 5/6 sweeps (None = all).
+    sweep_max_wrong: int | None
+    #: Dimensionality used by the accuracy-vs-L sweep (Fig. 8), which
+    #: trains 6 models per benchmark per flavor and dominates runtime.
+    fig8_dim: int
+    #: Sample fraction for the Fig. 8 sweep.
+    fig8_sample_scale: float
+
+
+REDUCED_SCALE = ExperimentScale(
+    name="reduced",
+    dim=2048,
+    sample_scale=0.20,
+    retrain_epochs=2,
+    sweep_max_wrong=300,
+    fig8_dim=1024,
+    fig8_sample_scale=0.12,
+)
+
+FULL_SCALE = ExperimentScale(
+    name="full",
+    dim=10_000,
+    sample_scale=1.0,
+    retrain_epochs=3,
+    sweep_max_wrong=None,
+    fig8_dim=10_000,
+    fig8_sample_scale=1.0,
+)
+
+
+def active_scale() -> ExperimentScale:
+    """The default scale: full when ``REPRO_FULL_SCALE=1``, else reduced."""
+    if os.environ.get("REPRO_FULL_SCALE", "").strip() in ("1", "true", "yes"):
+        return FULL_SCALE
+    return REDUCED_SCALE

@@ -1,0 +1,139 @@
+"""Experiment Fig. 7: analytic attack-complexity landscape.
+
+* Fig. 7a — per-feature guesses over a ``(D, P)`` grid at ``L = 2``
+  (monomial growth in both parameters);
+* Fig. 7b — per-feature guesses vs key depth ``L`` for
+  ``P in {100, 300, 500, 700}`` at ``D = 10,000`` (exponential in ``L``,
+  with ``P`` and ``L`` mutually enhancing).
+
+Also checks the paper's quoted MNIST checkpoints (Sec. 5.2):
+``6.15e5`` (plain), ``6.15e9`` (L=1), ``4.81e16`` (L=2), ``7.82e10``
+improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attack.complexity import (
+    guesses_vs_dim_and_pool,
+    guesses_vs_layers,
+    hdlock_total_guesses,
+    plain_total_guesses,
+    security_improvement,
+)
+from repro.utils.tables import format_quantity, render_table
+
+#: Grid used for the 7a surface (paper sweeps D and P around its
+#: evaluation point D=10k, P<=784).
+FIG7A_DIMS = (2000, 4000, 6000, 8000, 10_000)
+FIG7A_POOLS = (100, 300, 500, 700)
+
+#: Curves of 7b.
+FIG7B_LAYERS = (1, 2, 3, 4, 5)
+FIG7B_POOLS = (100, 300, 500, 700)
+FIG7B_DIM = 10_000
+
+
+@dataclass(frozen=True)
+class PaperCheckpoint:
+    """One complexity number quoted in the paper, with our computation."""
+
+    label: str
+    paper_value: float
+    computed: float
+
+    @property
+    def relative_error(self) -> float:
+        """|computed - paper| / paper."""
+        return abs(self.computed - self.paper_value) / self.paper_value
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Both panels plus the quoted-number checkpoints."""
+
+    surface_7a: list[tuple[int, int, int]]
+    curves_7b: dict[int, list[tuple[int, int]]]
+    checkpoints: tuple[PaperCheckpoint, ...]
+
+    @property
+    def checkpoints_match(self) -> bool:
+        """True when every quoted paper number matches within 1 %."""
+        return all(c.relative_error < 0.01 for c in self.checkpoints)
+
+
+def mnist_checkpoints() -> tuple[PaperCheckpoint, ...]:
+    """The Sec. 5.2 MNIST complexity numbers (N = P = 784, D = 10k)."""
+    n, d, p = 784, 10_000, 784
+    return (
+        PaperCheckpoint(
+            "plain divide-and-conquer (N^2)",
+            6.15e5,
+            float(plain_total_guesses(n)),
+        ),
+        PaperCheckpoint(
+            "HDLock L=1 (N*D*P)",
+            6.15e9,
+            float(hdlock_total_guesses(n, d, p, 1)),
+        ),
+        PaperCheckpoint(
+            "HDLock L=2 (N*(D*P)^2)",
+            4.81e16,
+            float(hdlock_total_guesses(n, d, p, 2)),
+        ),
+        PaperCheckpoint(
+            "improvement L=2 vs plain",
+            7.82e10,
+            security_improvement(n, d, p, 2),
+        ),
+    )
+
+
+def run_fig7() -> Fig7Result:
+    """Compute both panels and the checkpoints (pure arithmetic)."""
+    return Fig7Result(
+        surface_7a=guesses_vs_dim_and_pool(FIG7A_DIMS, FIG7A_POOLS, layers=2),
+        curves_7b=guesses_vs_layers(FIG7B_LAYERS, FIG7B_POOLS, dim=FIG7B_DIM),
+        checkpoints=mnist_checkpoints(),
+    )
+
+
+def render_fig7(result: Fig7Result) -> str:
+    """Text rendering: 7a grid, 7b curves, checkpoint comparison."""
+    grid_rows = {}
+    for dim, pool, guesses in result.surface_7a:
+        grid_rows.setdefault(dim, {})[pool] = guesses
+    pools = sorted({pool for _, pool, _ in result.surface_7a})
+    table_a = render_table(
+        ["D \\ P"] + [str(p) for p in pools],
+        [
+            [str(dim)] + [format_quantity(float(grid_rows[dim][p])) for p in pools]
+            for dim in sorted(grid_rows)
+        ],
+        title="Fig. 7a — guesses per feature vs D and P (L = 2)",
+    )
+    layer_values = sorted({l for curve in result.curves_7b.values() for l, _ in curve})
+    table_b = render_table(
+        ["P \\ L"] + [str(l) for l in layer_values],
+        [
+            [f"P={p}"]
+            + [format_quantity(float(dict(curve)[l])) for l in layer_values]
+            for p, curve in sorted(result.curves_7b.items())
+        ],
+        title="Fig. 7b — guesses per feature vs layers L (D = 10,000)",
+    )
+    table_c = render_table(
+        ["paper quantity", "paper", "computed", "rel. err"],
+        [
+            (
+                c.label,
+                format_quantity(c.paper_value),
+                format_quantity(c.computed),
+                f"{c.relative_error * 100:.2f}%",
+            )
+            for c in result.checkpoints
+        ],
+        title="Sec. 5.2 quoted MNIST complexities",
+    )
+    return "\n\n".join([table_a, table_b, table_c])

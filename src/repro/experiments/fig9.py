@@ -1,0 +1,97 @@
+"""Experiment Fig. 9: relative encoding time vs key depth.
+
+Cycle counts come from the datapath model (:mod:`repro.hardware`), which
+stands in for the paper's Zynq UltraScale+ implementation; like the
+paper, "relative encoding time is the ratio of two clock-cycle
+measurements". Expected shape: exactly 1.0 at ``L = 1`` (permutation is
+a shifted memory access), ~1.21 at ``L = 2``, then a linear climb — and
+the curves of all five benchmarks nearly coincide because the ratio is
+dominated by the per-feature beat count, which does not depend on ``N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.benchmarks import BENCHMARK_ORDER, BENCHMARKS
+from repro.experiments.config import DEFAULT_SEED, ExperimentScale, active_scale
+from repro.hardware.datapath import DatapathConfig
+from repro.hardware.encoder_cost import encoding_cycles, relative_time_series
+from repro.utils.tables import render_table
+
+#: Key depths on the Fig. 9 x-axis.
+LAYER_RANGE = (1, 2, 3, 4, 5)
+
+#: The paper's headline overhead at L = 2.
+PAPER_L2_OVERHEAD = 1.21
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """Relative-encoding-time curves per benchmark plus baseline cycles."""
+
+    curves: dict[str, list[tuple[int, float]]]
+    baseline_cycles: dict[str, int]
+    dim: int
+
+    def overhead_at(self, layers: int) -> dict[str, float]:
+        """Relative time of every benchmark at one key depth."""
+        return {name: dict(curve)[layers] for name, curve in self.curves.items()}
+
+    @property
+    def curve_spread_at_l2(self) -> float:
+        """Max minus min relative time across benchmarks at L = 2 — the
+        'curves coincide' observation quantified."""
+        values = list(self.overhead_at(2).values())
+        return max(values) - min(values)
+
+
+def run_fig9(
+    scale: ExperimentScale | None = None,
+    seed: int = DEFAULT_SEED,
+    config: DatapathConfig | None = None,
+    dim: int | None = None,
+) -> Fig9Result:
+    """Evaluate the cycle model on all five benchmark shapes.
+
+    The cycle model is pure arithmetic, so unlike the other experiments
+    this one defaults to the paper's ``D = 10,000`` even at reduced
+    scale; pass ``dim`` to explore other dimensionalities.
+    """
+    del scale, seed  # the cycle model is deterministic and free
+    dim = 10_000 if dim is None else dim
+    shapes = {name: BENCHMARKS[name].n_features for name in BENCHMARK_ORDER}
+    curves = relative_time_series(LAYER_RANGE, shapes, dim, config)
+    baseline = {
+        name: encoding_cycles(n, dim, 0, config) for name, n in shapes.items()
+    }
+    return Fig9Result(curves=curves, baseline_cycles=baseline, dim=dim)
+
+
+def render_fig9(result: Fig9Result) -> str:
+    """Benchmark rows, L columns, plus the paper's L=2 reference."""
+    layer_values = sorted(
+        {l for curve in result.curves.values() for l, _ in curve}
+    )
+    rows = []
+    for name, curve in result.curves.items():
+        series = dict(curve)
+        rows.append(
+            [name.upper(), str(result.baseline_cycles[name])]
+            + [f"{series[l]:.3f}" for l in layer_values]
+        )
+    rows.append(
+        ["(paper)", "-"]
+        + [
+            "1.000" if l == 1 else (f"{PAPER_L2_OVERHEAD:.3f}" if l == 2 else "-")
+            for l in layer_values
+        ]
+    )
+    return render_table(
+        ["benchmark", "baseline cycles"] + [f"L={l}" for l in layer_values],
+        rows,
+        title=(
+            f"Fig. 9 — relative encoding time vs key depth "
+            f"(cycle model, D={result.dim})"
+        ),
+    )

@@ -1,0 +1,140 @@
+"""Command-line experiment runner.
+
+Regenerates any subset of the paper's tables and figures as text::
+
+    python -m repro.experiments.runner                 # everything, reduced
+    python -m repro.experiments.runner --only fig3,fig9
+    REPRO_FULL_SCALE=1 python -m repro.experiments.runner --only table1
+
+Each experiment prints the same rows/series the paper reports, next to
+the paper's reference values where the paper states them.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable
+
+from repro.experiments.ablations import (
+    layer_one_is_free,
+    naive_attack_on_locked,
+    pool_layer_synergy,
+    render_ablations,
+    single_layer_breakability,
+    value_lock_leakage,
+)
+from repro.experiments.config import DEFAULT_SEED, ExperimentScale, active_scale
+from repro.experiments.fig3 import render_fig3, run_fig3
+from repro.experiments.fig56 import render_fig56, run_fig5, run_fig6
+from repro.experiments.fig7 import render_fig7, run_fig7
+from repro.experiments.fig8 import render_fig8, run_fig8
+from repro.experiments.fig9 import render_fig9, run_fig9
+from repro.experiments.sweeps import (
+    margin_vs_features,
+    recovery_vs_dim,
+    render_sweeps,
+)
+from repro.experiments.table1 import render_table1, run_table1
+
+
+def _run_table1(scale: ExperimentScale, seed: int) -> str:
+    return render_table1(run_table1(scale=scale, seed=seed))
+
+
+def _run_fig3(scale: ExperimentScale, seed: int) -> str:
+    return render_fig3(run_fig3(scale=scale, seed=seed))
+
+
+def _run_fig5(scale: ExperimentScale, seed: int) -> str:
+    return render_fig56(run_fig5(scale=scale, seed=seed))
+
+
+def _run_fig6(scale: ExperimentScale, seed: int) -> str:
+    return render_fig56(run_fig6(scale=scale, seed=seed))
+
+
+def _run_fig7(scale: ExperimentScale, seed: int) -> str:
+    del scale, seed  # analytic
+    return render_fig7(run_fig7())
+
+
+def _run_fig8(scale: ExperimentScale, seed: int) -> str:
+    return render_fig8(run_fig8(scale=scale, seed=seed))
+
+
+def _run_fig9(scale: ExperimentScale, seed: int) -> str:
+    return render_fig9(run_fig9(scale=scale, seed=seed))
+
+
+def _run_ablations(scale: ExperimentScale, seed: int) -> str:
+    return render_ablations(
+        value_lock_leakage(seed=seed),
+        layer_one_is_free(),
+        pool_layer_synergy(),
+        naive_attack_on_locked(scale=scale, seed=seed),
+        single_layer_breakability(seed=seed),
+    )
+
+
+def _run_sweeps(scale: ExperimentScale, seed: int) -> str:
+    del scale  # sweeps pick their own (N, D) grids
+    return render_sweeps(
+        recovery_vs_dim(seed=seed), margin_vs_features(seed=seed)
+    )
+
+
+EXPERIMENTS: dict[str, Callable[[ExperimentScale, int], str]] = {
+    "table1": _run_table1,
+    "fig3": _run_fig3,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+    "ablations": _run_ablations,
+    "sweeps": _run_sweeps,
+}
+
+
+def run_experiments(
+    names: list[str] | None = None,
+    scale: ExperimentScale | None = None,
+    seed: int = DEFAULT_SEED,
+) -> dict[str, str]:
+    """Run the named experiments (all when ``names`` is None)."""
+    cfg = scale or active_scale()
+    selected = names or list(EXPERIMENTS)
+    unknown = [n for n in selected if n not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(
+            f"unknown experiment(s) {unknown}; available: {list(EXPERIMENTS)}"
+        )
+    return {name: EXPERIMENTS[name](cfg, seed) for name in selected}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the HDLock paper's tables and figures."
+    )
+    parser.add_argument(
+        "--only",
+        default=None,
+        help=f"comma-separated subset of {sorted(EXPERIMENTS)}",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED, help="experiment seed"
+    )
+    args = parser.parse_args(argv)
+    names = args.only.split(",") if args.only else None
+    scale = active_scale()
+    print(f"[experiment scale: {scale.name}, D={scale.dim}]")
+    for name, report in run_experiments(names, scale, args.seed).items():
+        print()
+        print(f"=== {name} ===")
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

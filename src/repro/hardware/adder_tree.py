@@ -1,0 +1,48 @@
+"""Segmented pipelined adder tree for the encoding accumulation.
+
+The record encoder sums ``N`` bound hypervectors (Eq. 2). In hardware
+this is a binary adder tree: ``N`` leaf inputs, ``ceil(log2 N)`` levels,
+fully pipelined so it accepts one new segment per beat and only adds its
+depth once as latency. The model exposes depth, adder count, and the
+cycle accounting used by :mod:`repro.hardware.pipeline`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+
+def tree_depth(n_inputs: int) -> int:
+    """Pipeline depth (levels) of a binary adder tree over ``n_inputs``."""
+    if n_inputs < 1:
+        raise ConfigurationError(f"n_inputs must be >= 1, got {n_inputs}")
+    return math.ceil(math.log2(n_inputs)) if n_inputs > 1 else 0
+
+
+def adder_count(n_inputs: int) -> int:
+    """Two-input adders in the tree (``n_inputs - 1`` for a binary tree)."""
+    if n_inputs < 1:
+        raise ConfigurationError(f"n_inputs must be >= 1, got {n_inputs}")
+    return n_inputs - 1
+
+
+def accumulator_width_bits(n_inputs: int, input_bits: int = 2) -> int:
+    """Bit width needed at the tree root to hold the worst-case sum.
+
+    Bipolar products are 2-bit signed (+1/-1); every tree level adds one
+    carry bit, so the root needs ``input_bits + depth`` bits.
+    """
+    if input_bits < 1:
+        raise ConfigurationError(f"input_bits must be >= 1, got {input_bits}")
+    return input_bits + tree_depth(n_inputs)
+
+
+def tree_latency_cycles(n_inputs: int) -> int:
+    """One-time pipeline latency contributed by the tree per sample.
+
+    The tree is fully pipelined, so its depth appears once as fill
+    latency rather than multiplying the per-feature beat count.
+    """
+    return tree_depth(n_inputs)

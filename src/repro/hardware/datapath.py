@@ -1,0 +1,89 @@
+"""Parameterized encoder datapath (the paper's FPGA stand-in).
+
+Paper Fig. 9 measures HDLock's latency overhead in *clock cycles* on a
+Xilinx Zynq UltraScale+ running the segmented, pipelined, tree-structured
+HDC datapath of QuantHD [4]. No FPGA is available to this reproduction,
+so :mod:`repro.hardware` models that datapath at cycle granularity:
+
+* hypervectors stream through the datapath in *segments*; a functional
+  unit with ``W`` lanes consumes ``ceil(D / W)`` beats per hypervector;
+* the **accumulate path** (value-bind + segmented adder tree) is the
+  wide, expensive unit — its lane count bounds encoding throughput;
+* the **bind unit** is a cheap XOR array used only for the extra
+  ``L - 1`` base-hypervector products HDLock introduces (Eq. 9);
+* **permutation is free**: a circular rotation is a shifted BRAM read
+  (see :mod:`repro.hardware.memory_model`), which is why a single-layer
+  key costs no latency (paper Sec. 5.2).
+
+The default lane widths are calibrated so the model reproduces the
+paper's headline: +21 % encoding time at ``L = 2`` relative to the
+unprotected baseline, growing linearly per additional layer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Calibrated lane widths: ceil(10000/532) = 19 accumulate beats and
+#: ceil(10000/2560) = 4 bind beats per feature give 23/19 = 1.21x at
+#: L = 2, matching Fig. 9.
+DEFAULT_ACCUMULATE_LANES = 532
+DEFAULT_BIND_LANES = 2560
+
+
+@dataclass(frozen=True)
+class DatapathConfig:
+    """Resource parameters of the modeled encoder datapath."""
+
+    #: Lanes (dimensions/cycle) of the multiply-accumulate + tree path.
+    accumulate_lanes: int = DEFAULT_ACCUMULATE_LANES
+    #: Lanes (dimensions/cycle) of the XOR bind unit for key layers.
+    bind_lanes: int = DEFAULT_BIND_LANES
+    #: Concurrent hypervector fetch ports (feature + value by default).
+    memory_ports: int = 2
+    #: Cycles to fill the pipeline at the start of each sample.
+    pipeline_fill: int = 8
+    #: Modeled clock, used only to convert cycles to seconds.
+    clock_mhz: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.accumulate_lanes < 1 or self.bind_lanes < 1:
+            raise ConfigurationError(
+                f"lane counts must be >= 1, got accumulate="
+                f"{self.accumulate_lanes}, bind={self.bind_lanes}"
+            )
+        if self.memory_ports < 1:
+            raise ConfigurationError(
+                f"memory_ports must be >= 1, got {self.memory_ports}"
+            )
+        if self.pipeline_fill < 0:
+            raise ConfigurationError(
+                f"pipeline_fill must be >= 0, got {self.pipeline_fill}"
+            )
+        if self.clock_mhz <= 0:
+            raise ConfigurationError(
+                f"clock_mhz must be > 0, got {self.clock_mhz}"
+            )
+
+    def accumulate_beats(self, dim: int) -> int:
+        """Beats for the accumulate path to stream one hypervector."""
+        _check_dim(dim)
+        return math.ceil(dim / self.accumulate_lanes)
+
+    def bind_beats(self, dim: int) -> int:
+        """Beats for the bind unit to stream one hypervector."""
+        _check_dim(dim)
+        return math.ceil(dim / self.bind_lanes)
+
+    @property
+    def cycle_seconds(self) -> float:
+        """Duration of one clock cycle in seconds."""
+        return 1.0 / (self.clock_mhz * 1e6)
+
+
+def _check_dim(dim: int) -> None:
+    if dim < 1:
+        raise ConfigurationError(f"dim must be >= 1, got {dim}")

@@ -1,0 +1,117 @@
+"""On-chip memory model: BRAM banks, free rotations, footprint accounting.
+
+Two facts from the paper live here:
+
+* **permutation is a shifted memory access** (Sec. 5.2): reading a
+  circularly rotated hypervector from a banked memory only changes the
+  read address offset, so ``rho_k`` costs zero extra cycles — this is
+  why single-layer HDLock has no latency overhead;
+* **the mapping is the only thing that fits in secure memory**
+  (Sec. 3.1): hypervector memories are megabyte-scale while the index
+  mapping / HDLock key is kilobit-scale. :func:`model_footprint` and
+  :func:`key_to_model_ratio` quantify that gap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.memory.key import LockKey
+
+#: Usable bits of one Xilinx BRAM36 block.
+BRAM36_BITS = 36 * 1024
+
+
+@dataclass(frozen=True)
+class MemoryBank:
+    """One banked hypervector store with rotate-on-read addressing."""
+
+    name: str
+    rows: int
+    dim: int
+    width_bits: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.dim < 1 or self.width_bits < 1:
+            raise ConfigurationError(f"degenerate memory bank: {self}")
+
+    @property
+    def words_per_row(self) -> int:
+        """Memory words occupied by one (bit-packed bipolar) hypervector."""
+        return math.ceil(self.dim / self.width_bits)
+
+    @property
+    def total_bits(self) -> int:
+        """Total storage of the bank in bits (1 bit per dimension)."""
+        return self.rows * self.dim
+
+    @property
+    def bram36_blocks(self) -> int:
+        """BRAM36 blocks needed to hold this bank."""
+        return math.ceil(self.total_bits / BRAM36_BITS)
+
+    def read_cycles(self, rotation: int = 0) -> int:
+        """Cycles to issue a (possibly rotated) row read.
+
+        Rotation only re-bases the word address and barrel-shifts within
+        the word — combinational, so the cost is the same one issue cycle
+        regardless of ``rotation``. The argument is validated but does
+        not change the result; that *is* the model.
+        """
+        if not 0 <= rotation < self.dim:
+            raise ConfigurationError(
+                f"rotation {rotation} outside [0, {self.dim})"
+            )
+        return 1
+
+
+@dataclass(frozen=True)
+class ModelFootprint:
+    """Bit-packed storage of a deployed HDC model's memories."""
+
+    feature_bits: int
+    value_bits: int
+    class_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        """Total hypervector storage in bits."""
+        return self.feature_bits + self.value_bits + self.class_bits
+
+    @property
+    def total_bytes(self) -> int:
+        """Total hypervector storage in bytes."""
+        return math.ceil(self.total_bits / 8)
+
+
+def model_footprint(
+    n_features: int,
+    levels: int,
+    dim: int,
+    n_classes: int,
+    class_bits_per_dim: int = 1,
+) -> ModelFootprint:
+    """Storage of feature/value/class memories (binary model by default).
+
+    Non-binary class memories store multi-bit accumulators; pass e.g.
+    ``class_bits_per_dim=16`` for that variant.
+    """
+    if min(n_features, levels, dim, n_classes, class_bits_per_dim) < 1:
+        raise ConfigurationError("all footprint parameters must be >= 1")
+    return ModelFootprint(
+        feature_bits=n_features * dim,
+        value_bits=levels * dim,
+        class_bits=n_classes * dim * class_bits_per_dim,
+    )
+
+
+def key_to_model_ratio(key: LockKey, footprint: ModelFootprint) -> float:
+    """Secure-memory demand of the key relative to the full model.
+
+    Paper-scale MNIST (N=784, M=16, D=10k, C=10, L=2): key ~= 37 kbit vs
+    model ~= 8 Mbit — two to three orders of magnitude, which is the
+    threat model's premise that only the mapping fits in secure storage.
+    """
+    return key.storage_bits() / float(footprint.total_bits)

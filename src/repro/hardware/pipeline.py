@@ -1,0 +1,106 @@
+"""Cycle schedule of the (locked) encoder pipeline.
+
+Per feature, the datapath must:
+
+1. fetch the ``L`` base hypervectors (rotations are free shifted reads)
+   and the value hypervector — hidden behind compute by the memory
+   ports for realistic port counts;
+2. run ``L - 1`` bind passes through the XOR unit to materialize
+   ``FeaHV_i`` (Eq. 9) — this is HDLock's only added work;
+3. stream the value-bind + adder-tree accumulate pass.
+
+The bind unit and the accumulate path share the feature's hypervector
+stream, so their beats add per feature (they cannot overlap for the
+*same* feature; across features the pipeline keeps every unit busy,
+which the fill latency accounts for). An unprotected encoder and a
+single-layer key both skip step 2 entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.adder_tree import tree_latency_cycles
+from repro.hardware.datapath import DatapathConfig
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One stage of the per-feature schedule."""
+
+    name: str
+    beats: int
+    note: str
+
+
+@dataclass(frozen=True)
+class EncoderSchedule:
+    """Cycle accounting of one encoded sample."""
+
+    stages: tuple[PipelineStage, ...]
+    beats_per_feature: int
+    fill_cycles: int
+    n_features: int
+
+    @property
+    def cycles_per_sample(self) -> int:
+        """Total cycles to encode one sample."""
+        return self.fill_cycles + self.n_features * self.beats_per_feature
+
+
+def encoder_stages(
+    dim: int, layers: int, config: DatapathConfig
+) -> tuple[PipelineStage, ...]:
+    """Per-feature stages for a key depth of ``layers`` (0 = unlocked)."""
+    if layers < 0:
+        raise ConfigurationError(f"layers must be >= 0, got {layers}")
+    stages = [
+        PipelineStage(
+            name="fetch",
+            beats=0,
+            note=(
+                "base/value reads stream through "
+                f"{config.memory_ports} ports behind compute; rotations "
+                "are shifted reads (free)"
+            ),
+        )
+    ]
+    extra_binds = max(layers - 1, 0)
+    if extra_binds:
+        stages.append(
+            PipelineStage(
+                name="bind",
+                beats=extra_binds * config.bind_beats(dim),
+                note=f"{extra_binds} XOR pass(es) deriving FeaHV (Eq. 9)",
+            )
+        )
+    stages.append(
+        PipelineStage(
+            name="accumulate",
+            beats=config.accumulate_beats(dim),
+            note="value bind + segmented adder tree (Eq. 2)",
+        )
+    )
+    return tuple(stages)
+
+
+def schedule_encoder(
+    n_features: int,
+    dim: int,
+    layers: int,
+    config: DatapathConfig | None = None,
+) -> EncoderSchedule:
+    """Build the cycle schedule for one encoded sample."""
+    if n_features < 1:
+        raise ConfigurationError(f"n_features must be >= 1, got {n_features}")
+    cfg = config or DatapathConfig()
+    stages = encoder_stages(dim, layers, cfg)
+    beats = sum(stage.beats for stage in stages)
+    fill = cfg.pipeline_fill + tree_latency_cycles(n_features)
+    return EncoderSchedule(
+        stages=stages,
+        beats_per_feature=beats,
+        fill_cycles=fill,
+        n_features=n_features,
+    )

@@ -1,0 +1,95 @@
+"""Resource and latency reporting for the modeled datapath.
+
+Estimates are deliberately coarse (LUT-per-lane constants, not synthesis
+results) — their role is to expose *relative* costs: how the bind unit,
+accumulate path and memories scale with ``(D, L, N)``, and that HDLock's
+added logic is a small fraction of the baseline encoder. Constants are
+documented so anyone recalibrating against a real synthesis run can
+adjust them in one place.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hardware.adder_tree import accumulator_width_bits, adder_count
+from repro.hardware.datapath import DatapathConfig
+from repro.hardware.memory_model import MemoryBank
+from repro.utils.tables import render_table
+
+#: LUTs per XOR bind lane (2-input XOR plus routing margin).
+LUTS_PER_BIND_LANE = 1.0
+#: LUTs per accumulate lane: value bind (1), popcount compressor slice
+#: (~6) and the lane's share of tree adders and accumulators (~5).
+LUTS_PER_ACCUMULATE_LANE = 12.0
+#: LUTs per adder-tree node bit.
+LUTS_PER_TREE_BIT = 1.0
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Estimated logic and memory usage of one encoder configuration."""
+
+    layers: int
+    bind_luts: int
+    accumulate_luts: int
+    tree_luts: int
+    bram36_blocks: int
+
+    @property
+    def total_luts(self) -> int:
+        """Total estimated LUTs."""
+        return self.bind_luts + self.accumulate_luts + self.tree_luts
+
+
+def estimate_resources(
+    n_features: int,
+    levels: int,
+    dim: int,
+    layers: int,
+    config: DatapathConfig | None = None,
+) -> ResourceReport:
+    """Estimate the logic/BRAM of a (locked) encoder instance."""
+    cfg = config or DatapathConfig()
+    needs_bind_unit = layers >= 2
+    bind_luts = int(cfg.bind_lanes * LUTS_PER_BIND_LANE) if needs_bind_unit else 0
+    accumulate_luts = int(cfg.accumulate_lanes * LUTS_PER_ACCUMULATE_LANE)
+    # The tree spans the accumulate lanes; each lane feeds a tree over
+    # the feature dimension with widening accumulators.
+    tree_bits = adder_count(n_features) * accumulator_width_bits(n_features)
+    tree_luts = int(
+        LUTS_PER_TREE_BIT * tree_bits * cfg.accumulate_lanes / max(dim, 1)
+    )
+    pool_rows = n_features if layers == 0 else max(n_features, 1)
+    banks = [
+        MemoryBank("base-or-feature", pool_rows, dim, width_bits=cfg.bind_lanes),
+        MemoryBank("value", levels, dim, width_bits=cfg.bind_lanes),
+    ]
+    return ResourceReport(
+        layers=layers,
+        bind_luts=bind_luts,
+        accumulate_luts=accumulate_luts,
+        tree_luts=tree_luts,
+        bram36_blocks=sum(bank.bram36_blocks for bank in banks),
+    )
+
+
+def render_resource_table(reports: list[ResourceReport]) -> str:
+    """ASCII table comparing resource estimates across key depths."""
+    rows = [
+        (
+            r.layers,
+            r.bind_luts,
+            r.accumulate_luts,
+            r.tree_luts,
+            r.total_luts,
+            r.bram36_blocks,
+        )
+        for r in reports
+    ]
+    return render_table(
+        ["L", "bind LUTs", "acc LUTs", "tree LUTs", "total LUTs", "BRAM36"],
+        rows,
+        title="Estimated encoder resources vs key depth",
+    )

@@ -1,0 +1,47 @@
+"""HDLock: the paper's defense — privileged (keyed) feature encoding."""
+
+from repro.hdlock.analysis import (
+    TradeoffRow,
+    recommend_layers,
+    render_tradeoff_table,
+    security_level_bits,
+    tradeoff_table,
+)
+from repro.hdlock.feature_factory import derive_feature_hv, derive_feature_matrix
+from repro.hdlock.keygen import generate_key, identity_like_key
+from repro.hdlock.lock import (
+    LockedSystem,
+    create_locked_encoder,
+    lock_encoder,
+    lock_model,
+)
+from repro.hdlock.provisioning import (
+    BundleManifest,
+    load_key,
+    load_public_bundle,
+    restore_encoder,
+    save_key,
+    save_public_bundle,
+)
+
+__all__ = [
+    "generate_key",
+    "identity_like_key",
+    "derive_feature_hv",
+    "derive_feature_matrix",
+    "LockedSystem",
+    "create_locked_encoder",
+    "lock_encoder",
+    "lock_model",
+    "security_level_bits",
+    "recommend_layers",
+    "TradeoffRow",
+    "tradeoff_table",
+    "render_tradeoff_table",
+    "BundleManifest",
+    "save_public_bundle",
+    "save_key",
+    "load_public_bundle",
+    "load_key",
+    "restore_encoder",
+]

@@ -1,0 +1,56 @@
+"""Derivation of locked feature hypervectors from a base pool and a key.
+
+This implements Eq. 9 of the paper::
+
+    FeaHV_i = prod_{l=1..L} rho^{k_{i,l}}(B_{i,l})
+
+The base pool ``B`` lives in public memory; the per-feature indices and
+rotation amounts come from the :class:`~repro.memory.key.LockKey` in
+secure memory. Because rotation of a random bipolar HV yields another
+(quasi-independent) random bipolar HV, and binding preserves
+quasi-orthogonality, the derived feature hypervectors behave statistically
+exactly like freshly drawn orthogonal feature HVs — which is why HDLock
+costs no accuracy (paper Fig. 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError, KeyFormatError
+from repro.hv.ops import BIPOLAR_DTYPE, bind_many, permute, permute_rows
+from repro.memory.key import LockKey, SubKey
+
+
+def derive_feature_hv(pool: np.ndarray, subkey: SubKey) -> np.ndarray:
+    """Derive the feature hypervector of a single feature.
+
+    ``pool`` is the ``(P, D)`` base matrix; the result is the bound
+    product of the subkey's ``L`` rotated base HVs.
+    """
+    mat = np.asarray(pool)
+    layers = [permute(mat[index], rotation) for index, rotation in subkey.pairs()]
+    return bind_many(np.stack(layers))
+
+
+def derive_feature_matrix(pool: np.ndarray, key: LockKey) -> np.ndarray:
+    """Derive all ``N`` locked feature hypervectors at once.
+
+    Vectorized layer by layer: gather the selected base rows, rotate each
+    row by its own amount, and multiply the ``L`` layer matrices
+    element-wise. Returns an ``(N, D)`` bipolar matrix laid out exactly
+    like a plain :class:`~repro.memory.item_memory.FeatureMemory`.
+    """
+    mat = np.asarray(pool)
+    if mat.ndim != 2:
+        raise DimensionMismatchError(f"base pool must be (P, D), got {mat.shape}")
+    if mat.shape[0] < key.pool_size or mat.shape[1] != key.dim:
+        raise KeyFormatError(
+            f"key expects pool >= {key.pool_size} x {key.dim}, got {mat.shape}"
+        )
+    indices, rotations = key.to_arrays()
+    product = np.ones((key.n_features, key.dim), dtype=BIPOLAR_DTYPE)
+    for l in range(key.layers):
+        layer = permute_rows(mat[indices[:, l]], rotations[:, l])
+        product = np.multiply(product, layer, dtype=BIPOLAR_DTYPE)
+    return product

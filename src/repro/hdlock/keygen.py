@@ -1,0 +1,101 @@
+"""HDLock key generation.
+
+A key assigns every feature ``L`` (base index, rotation) pairs drawn
+uniformly from ``[0, P) x [0, D)``. Two constraints beyond uniformity:
+
+* within one subkey, the ``L`` (index, rotation) pairs must be distinct —
+  a repeated pair would bind a hypervector with itself and cancel to the
+  all-ones vector, degenerating the product;
+* across features, whole subkeys must be distinct, otherwise two features
+  would share one derived hypervector and become indistinguishable to the
+  encoder.
+
+Both events are vanishingly rare for paper-scale ``P * D`` but cheap to
+rule out, so the generator enforces them.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.memory.key import LockKey, SubKey
+from repro.utils.rng import SeedLike, resolve_rng
+
+
+def generate_key(
+    n_features: int,
+    layers: int,
+    pool_size: int,
+    dim: int,
+    rng: SeedLike = None,
+) -> LockKey:
+    """Draw a uniform random HDLock key.
+
+    ``layers`` is the paper's ``L`` (key depth), ``pool_size`` its ``P``.
+    Raises :class:`ConfigurationError` when the requested key space is
+    too small to satisfy the distinctness constraints (e.g. more layers
+    than available pairs).
+    """
+    if n_features < 1:
+        raise ConfigurationError(f"n_features must be >= 1, got {n_features}")
+    if layers < 1:
+        raise ConfigurationError(f"layers must be >= 1, got {layers}")
+    if pool_size < 1 or dim < 1:
+        raise ConfigurationError(
+            f"pool_size and dim must be >= 1, got {pool_size} and {dim}"
+        )
+    pair_space = pool_size * dim
+    if layers > pair_space:
+        raise ConfigurationError(
+            f"cannot pick {layers} distinct (index, rotation) pairs from a "
+            f"space of {pair_space}"
+        )
+    # Distinct-subkey feasibility: each subkey is a size-`layers` subset
+    # of the pair space, so at most C(pair_space, layers) distinct
+    # subkeys exist. Detect infeasible requests up front instead of
+    # letting rejection sampling spin forever on degenerate toy sizes.
+    if math.comb(pair_space, layers) < n_features:
+        raise ConfigurationError(
+            f"only {math.comb(pair_space, layers)} distinct subkeys exist "
+            f"for P={pool_size}, D={dim}, L={layers}; cannot key "
+            f"{n_features} features"
+        )
+
+    gen = resolve_rng(rng)
+    seen_subkeys: set[tuple[tuple[int, ...], tuple[int, ...]]] = set()
+    subkeys: list[SubKey] = []
+    # Rejection sampling: collisions are (layers^2 / pair_space)-rare, so
+    # the expected number of retries is negligible at any realistic size.
+    while len(subkeys) < n_features:
+        pairs: set[tuple[int, int]] = set()
+        while len(pairs) < layers:
+            index = int(gen.integers(0, pool_size))
+            rotation = int(gen.integers(0, dim))
+            pairs.add((index, rotation))
+        ordered = tuple(sorted(pairs))
+        indices = tuple(p[0] for p in ordered)
+        rotations = tuple(p[1] for p in ordered)
+        fingerprint = (indices, rotations)
+        if fingerprint in seen_subkeys:
+            continue
+        seen_subkeys.add(fingerprint)
+        subkeys.append(SubKey(indices, rotations))
+    return LockKey(subkeys, pool_size=pool_size, dim=dim)
+
+
+def identity_like_key(n_features: int, dim: int, rng: SeedLike = None) -> LockKey:
+    """A single-layer key over a pool of size ``N`` with random rotations.
+
+    This is the paper's ``L = 1`` configuration (footnote 2: with
+    ``P = N`` the bases can serve directly as the unprotected feature
+    HVs). Rotation is a shifted memory read, so this layer costs no
+    latency yet already multiplies attack complexity by ``D * P / N``.
+    """
+    gen = resolve_rng(rng)
+    perm = gen.permutation(n_features)
+    subkeys = [
+        SubKey((int(perm[i]),), (int(gen.integers(0, dim)),))
+        for i in range(n_features)
+    ]
+    return LockKey(subkeys, pool_size=n_features, dim=dim)

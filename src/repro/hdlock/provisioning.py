@@ -1,0 +1,159 @@
+"""Deployment provisioning: persist the public bundle and the key apart.
+
+A real HDLock rollout writes two artifacts with different trust levels:
+
+* the **public bundle** — bit-packed base pool and value memory plus a
+  manifest with shapes and SHA-256 checksums. This goes to ordinary
+  device flash; per the threat model the adversary can read all of it.
+* the **key file** — the ``LockKey`` JSON. This goes to the tamper-proof
+  store and never ships next to the bundle.
+
+Loading verifies the checksums, so a tampered pool (a known class of
+attacks against stored models) is detected before the encoder is
+reconstructed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.encoding.locked import LockedEncoder
+from repro.errors import ConfigurationError, KeyFormatError
+from repro.hv.packing import pack, unpack
+from repro.memory.item_memory import LevelMemory
+from repro.memory.key import LockKey
+from repro.utils.rng import SeedLike
+
+#: File names inside a bundle directory.
+POOL_FILE = "base_pool.npy"
+VALUES_FILE = "value_memory.npy"
+MANIFEST_FILE = "manifest.json"
+KEY_FILE = "lock_key.json"
+
+
+@dataclass(frozen=True)
+class BundleManifest:
+    """Shapes and integrity digests of a public bundle."""
+
+    dim: int
+    pool_size: int
+    levels: int
+    pool_sha256: str
+    values_sha256: str
+
+    def to_json(self) -> str:
+        """Serialize the manifest."""
+        return json.dumps(
+            {
+                "dim": self.dim,
+                "pool_size": self.pool_size,
+                "levels": self.levels,
+                "pool_sha256": self.pool_sha256,
+                "values_sha256": self.values_sha256,
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "BundleManifest":
+        """Parse a manifest; raises on malformed content."""
+        try:
+            payload = json.loads(text)
+            return cls(
+                dim=int(payload["dim"]),
+                pool_size=int(payload["pool_size"]),
+                levels=int(payload["levels"]),
+                pool_sha256=str(payload["pool_sha256"]),
+                values_sha256=str(payload["values_sha256"]),
+            )
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(f"malformed bundle manifest: {exc}") from exc
+
+
+def _digest(packed: np.ndarray) -> str:
+    return hashlib.sha256(packed.tobytes()).hexdigest()
+
+
+def save_public_bundle(
+    directory: str | Path, encoder: LockedEncoder
+) -> BundleManifest:
+    """Write the encoder's public memories (bit-packed) plus manifest.
+
+    The key is deliberately *not* written here; see :func:`save_key`.
+    """
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    packed_pool = pack(encoder.base_pool)
+    packed_values = pack(encoder.level_memory.matrix)
+    np.save(path / POOL_FILE, packed_pool)
+    np.save(path / VALUES_FILE, packed_values)
+    manifest = BundleManifest(
+        dim=encoder.dim,
+        pool_size=int(encoder.base_pool.shape[0]),
+        levels=encoder.levels,
+        pool_sha256=_digest(packed_pool),
+        values_sha256=_digest(packed_values),
+    )
+    (path / MANIFEST_FILE).write_text(manifest.to_json())
+    return manifest
+
+
+def save_key(directory: str | Path, key: LockKey) -> Path:
+    """Write the key JSON (destined for tamper-proof storage)."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    key_path = path / KEY_FILE
+    key_path.write_text(key.to_json())
+    return key_path
+
+
+def load_public_bundle(
+    directory: str | Path,
+) -> tuple[np.ndarray, LevelMemory, BundleManifest]:
+    """Read and integrity-check a public bundle.
+
+    Raises :class:`ConfigurationError` when a checksum does not match —
+    a tampered pool must never silently reach the encoder.
+    """
+    path = Path(directory)
+    manifest = BundleManifest.from_json((path / MANIFEST_FILE).read_text())
+    packed_pool = np.load(path / POOL_FILE)
+    packed_values = np.load(path / VALUES_FILE)
+    if _digest(packed_pool) != manifest.pool_sha256:
+        raise ConfigurationError(
+            f"base pool in {path} fails its integrity check"
+        )
+    if _digest(packed_values) != manifest.values_sha256:
+        raise ConfigurationError(
+            f"value memory in {path} fails its integrity check"
+        )
+    pool = unpack(packed_pool, manifest.dim)
+    values = LevelMemory(unpack(packed_values, manifest.dim))
+    return pool, values, manifest
+
+
+def load_key(path: str | Path) -> LockKey:
+    """Read a key file written by :func:`save_key`."""
+    return LockKey.from_json(Path(path).read_text())
+
+
+def restore_encoder(
+    directory: str | Path, key: LockKey, rng: SeedLike = None
+) -> LockedEncoder:
+    """Rebuild the locked encoder from a bundle directory plus its key.
+
+    The key is validated against the bundle's shape (a key for a
+    different pool must not quietly derive garbage features).
+    """
+    pool, values, manifest = load_public_bundle(directory)
+    if key.dim != manifest.dim or key.pool_size > manifest.pool_size:
+        raise KeyFormatError(
+            f"key (P<={key.pool_size}, D={key.dim}) does not fit bundle "
+            f"(P={manifest.pool_size}, D={manifest.dim})"
+        )
+    return LockedEncoder(pool, values, key, rng=rng)

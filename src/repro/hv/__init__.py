@@ -1,0 +1,86 @@
+"""Hypervector substrate: bipolar vectors, MAP operators, similarity.
+
+This package is the mathematical foundation everything else builds on:
+:mod:`repro.encoding` composes these operators into the paper's encoding
+module, :mod:`repro.attack` inverts them, and :mod:`repro.hdlock` uses
+them to derive locked feature hypervectors.
+"""
+
+from repro.hv.capacity import (
+    CapacityPoint,
+    capacity,
+    detection_margin,
+    empirical_capacity_curve,
+    expected_member_distance,
+    majority_advantage,
+)
+from repro.hv.level import expected_level_distance, level_hvs, level_profile
+from repro.hv.ops import (
+    ACCUM_DTYPE,
+    BIPOLAR_DTYPE,
+    DEFAULT_DIM,
+    as_bipolar,
+    bind,
+    bind_many,
+    bundle,
+    check_same_dim,
+    invert,
+    permute,
+    permute_inverse,
+    permute_rows,
+    sign,
+    stack,
+)
+from repro.hv.packing import PackedPool, pack, packed_hamming, unpack
+from repro.hv.properties import (
+    LevelLinearityReport,
+    OrthogonalityReport,
+    expected_random_deviation,
+    level_linearity_report,
+    orthogonality_report,
+)
+from repro.hv.random import random_hv, random_pool, shuffled_copy
+from repro.hv.similarity import cosine, dot, hamming, nearest, pairwise_hamming
+
+__all__ = [
+    "ACCUM_DTYPE",
+    "BIPOLAR_DTYPE",
+    "DEFAULT_DIM",
+    "as_bipolar",
+    "bind",
+    "bind_many",
+    "bundle",
+    "check_same_dim",
+    "invert",
+    "permute",
+    "permute_inverse",
+    "permute_rows",
+    "sign",
+    "stack",
+    "random_hv",
+    "random_pool",
+    "shuffled_copy",
+    "level_hvs",
+    "level_profile",
+    "expected_level_distance",
+    "cosine",
+    "dot",
+    "hamming",
+    "nearest",
+    "pairwise_hamming",
+    "pack",
+    "unpack",
+    "packed_hamming",
+    "PackedPool",
+    "OrthogonalityReport",
+    "LevelLinearityReport",
+    "orthogonality_report",
+    "level_linearity_report",
+    "expected_random_deviation",
+    "capacity",
+    "CapacityPoint",
+    "detection_margin",
+    "empirical_capacity_curve",
+    "expected_member_distance",
+    "majority_advantage",
+]

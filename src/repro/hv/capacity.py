@@ -1,0 +1,132 @@
+"""Bundling-capacity analysis for bipolar hypervectors.
+
+How many hypervectors can a bundle hold before its members become
+unrecognizable? This classic HDC question underpins both ends of the
+paper's pipeline:
+
+* the record encoder bundles ``N`` bound pairs — the expected Hamming
+  distance between the binarized bundle and any constituent determines
+  how much signal the attacker's crafted queries carry (the Fig. 3
+  wrong-guess band is exactly this quantity);
+* the class memory bundles hundreds of encodings — its capacity sets the
+  one-shot accuracy the retraining loop starts from.
+
+For a binarized bundle of ``k`` random bipolar HVs, each constituent
+agrees with the bundle's sign independently per dimension with
+probability ``1/2 + c(k)``, where the advantage ``c(k)`` follows the
+majority-vote binomial: ``c(k) ~ 1 / sqrt(2 pi k)`` for large odd ``k``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hv.ops import bundle, sign
+from repro.hv.random import random_pool
+from repro.hv.similarity import hamming
+from repro.utils.rng import SeedLike, resolve_rng
+
+
+def majority_advantage(k: int) -> float:
+    """Per-dimension agreement advantage of one constituent, exact.
+
+    For a bundle of ``k`` i.i.d. bipolar HVs (ties broken at random for
+    even ``k``), the probability that a constituent matches the
+    binarized bundle's sign is ``1/2 + majority_advantage(k)``. Computed
+    from the central binomial coefficient.
+    """
+    if k < 1:
+        raise ConfigurationError(f"bundle size must be >= 1, got {k}")
+    if k == 1:
+        return 0.5
+    # Condition on the other k-1 terms: the constituent flips the sign
+    # only when their partial sum is "near" zero. For even n = k-1 the
+    # decisive event is their sum hitting exactly 0 (probability
+    # C(n, n/2) / 2^n); for odd n it is hitting -1 given the constituent
+    # is +1 (probability C(n, (n-1)/2) / 2^n). Both contribute half.
+    n = k - 1
+    m = n // 2 if n % 2 == 0 else (n - 1) // 2
+    # log-space central binomial: exact enough at any n and O(1), where
+    # math.comb would build million-digit integers for large bundles.
+    log_p = (
+        math.lgamma(n + 1)
+        - math.lgamma(m + 1)
+        - math.lgamma(n - m + 1)
+        - n * math.log(2.0)
+    )
+    return math.exp(log_p) / 2.0
+
+
+def expected_member_distance(k: int) -> float:
+    """Expected normalized Hamming distance of a constituent to the
+    binarized bundle of ``k`` random HVs: ``0.5 - majority_advantage``."""
+    return 0.5 - majority_advantage(k)
+
+
+def detection_margin(k: int, dim: int, sigmas: float = 4.0) -> float:
+    """Distance margin separating members from non-members.
+
+    Non-members sit at 0.5 with standard deviation ``1/(2 sqrt(D))``;
+    the margin is the member advantage minus ``sigmas`` standard
+    deviations of that noise. Positive margin = members recognizable.
+    """
+    if dim < 1:
+        raise ConfigurationError(f"dim must be >= 1, got {dim}")
+    return majority_advantage(k) - sigmas * 0.5 / math.sqrt(dim)
+
+
+def capacity(dim: int, sigmas: float = 4.0, max_k: int = 1 << 20) -> int:
+    """Largest bundle size whose members remain detectable at ``dim``.
+
+    Uses the asymptotic advantage ``~1/sqrt(2 pi k)``: detectability
+    requires ``1/sqrt(2 pi k) > sigmas / (2 sqrt(D))``, i.e.
+    ``k < 2 D / (pi sigmas^2)``. The exact advantage is used near the
+    boundary so the result is sharp.
+    """
+    if dim < 1:
+        raise ConfigurationError(f"dim must be >= 1, got {dim}")
+    estimate = int(2 * dim / (math.pi * sigmas**2))
+    k = max(min(estimate * 2, max_k), 1)
+    while k > 1 and detection_margin(k, dim, sigmas) <= 0:
+        k -= max(k // 64, 1)
+    return k
+
+
+@dataclass(frozen=True)
+class CapacityPoint:
+    """One empirical measurement of member/non-member separability."""
+
+    bundle_size: int
+    member_distance: float
+    non_member_distance: float
+    predicted_member_distance: float
+
+
+def empirical_capacity_curve(
+    bundle_sizes: list[int],
+    dim: int = 4096,
+    rng: SeedLike = None,
+) -> list[CapacityPoint]:
+    """Measure member recognizability against the analytic prediction.
+
+    For each ``k``: bundle ``k`` random HVs, binarize, and compare the
+    distance of a member and of a fresh non-member to the bundle.
+    """
+    gen = resolve_rng(rng)
+    points = []
+    for k in bundle_sizes:
+        pool = random_pool(k + 1, dim, gen)
+        bundled = sign(bundle(pool[:k]), gen)
+        points.append(
+            CapacityPoint(
+                bundle_size=k,
+                member_distance=float(hamming(bundled, pool[0])),
+                non_member_distance=float(hamming(bundled, pool[k])),
+                predicted_member_distance=expected_member_distance(k),
+            )
+        )
+    return points

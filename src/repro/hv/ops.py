@@ -1,0 +1,168 @@
+"""Core Multiplication-Addition-Permutation (MAP) operations on bipolar
+hypervectors.
+
+A hypervector (HV) is a 1-D :class:`numpy.ndarray` with entries in
+``{-1, +1}`` (paper Sec. 2, ``HV in {1, -1}^D``). The three MAP operators
+are:
+
+* **bind** — element-wise multiplication ``HV1 * HV2``. Binding two
+  quasi-orthogonal HVs yields an HV quasi-orthogonal to both; binding is
+  its own inverse (``bind(bind(a, b), b) == a``).
+* **bundle** — element-wise integer addition. The bundle of a set is
+  similar to each member; it is the non-binary encoding accumulator of
+  Eq. 2 and the class-HV accumulator of Eq. 4.
+* **permute** — coordinate permutation. The paper (and this library) uses
+  circular rotation: ``rho_k(HV) = {HV[k : D-1], HV[0 : k-1]}``, i.e. a
+  left rotation by ``k`` positions.
+
+Binarization (Eq. 3) uses :func:`sign` where ties at exactly zero are
+assigned ``+1``/``-1`` uniformly at random, as the paper specifies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError, NotBipolarError
+from repro.utils.rng import SeedLike, resolve_rng
+
+#: Hypervector dimensionality used throughout the paper's experiments.
+DEFAULT_DIM = 10_000
+
+#: dtype used for bipolar hypervectors. int8 keeps a D=10,000 HV in 10 KB.
+BIPOLAR_DTYPE = np.int8
+
+#: dtype used for non-binary accumulations (bundles of up to ~2^31 HVs).
+ACCUM_DTYPE = np.int64
+
+
+def as_bipolar(hv: np.ndarray) -> np.ndarray:
+    """Validate that ``hv`` is bipolar and return it as ``int8``.
+
+    Raises :class:`NotBipolarError` when any entry is outside ``{-1, +1}``.
+    """
+    arr = np.asarray(hv)
+    if not np.isin(arr, (-1, 1)).all():
+        raise NotBipolarError("hypervector entries must all be -1 or +1")
+    return arr.astype(BIPOLAR_DTYPE, copy=False)
+
+
+def check_same_dim(*hvs: np.ndarray) -> int:
+    """Return the shared last-axis dimension of ``hvs`` or raise.
+
+    Raises :class:`DimensionMismatchError` when the hypervectors disagree
+    on ``D``.
+    """
+    dims = {np.asarray(hv).shape[-1] for hv in hvs}
+    if len(dims) != 1:
+        raise DimensionMismatchError(f"mixed hypervector dimensions: {sorted(dims)}")
+    return dims.pop()
+
+
+def bind(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise multiplication of two (stacks of) bipolar HVs.
+
+    Accepts broadcasting shapes, e.g. a ``(P, D)`` pool against a ``(D,)``
+    value hypervector. The result keeps the bipolar dtype.
+    """
+    check_same_dim(a, b)
+    return np.multiply(a, b, dtype=BIPOLAR_DTYPE)
+
+
+def bind_many(hvs: Sequence[np.ndarray] | np.ndarray) -> np.ndarray:
+    """Bind an arbitrary number of bipolar HVs together.
+
+    ``hvs`` may be a sequence of ``(D,)`` vectors or a ``(K, D)`` matrix;
+    the result is the element-wise product over the first axis. This is
+    the ``prod_{l=1..L}`` operator of the HDLock feature construction
+    (Eq. 9).
+    """
+    mat = np.asarray(hvs)
+    if mat.ndim == 1:
+        return mat.astype(BIPOLAR_DTYPE, copy=True)
+    if mat.shape[0] == 0:
+        raise ValueError("bind_many needs at least one hypervector")
+    return np.prod(mat, axis=0, dtype=BIPOLAR_DTYPE)
+
+
+def bundle(hvs: Sequence[np.ndarray] | np.ndarray) -> np.ndarray:
+    """Element-wise integer sum of a stack of HVs (non-binary bundle).
+
+    Returns an :data:`ACCUM_DTYPE` vector; use :func:`sign` to binarize.
+    """
+    mat = np.asarray(hvs)
+    if mat.ndim == 1:
+        return mat.astype(ACCUM_DTYPE, copy=True)
+    return mat.sum(axis=0, dtype=ACCUM_DTYPE)
+
+
+def permute(hv: np.ndarray, k: int) -> np.ndarray:
+    """Circularly rotate ``hv`` left by ``k`` positions (the paper's rho_k).
+
+    ``rho_k(HV) = {HV[k:], HV[:k]}``. ``k`` is reduced modulo ``D`` so any
+    integer (including negatives, which rotate right) is accepted. Works
+    on a single ``(D,)`` vector or a ``(..., D)`` stack, rotating the last
+    axis.
+    """
+    arr = np.asarray(hv)
+    d = arr.shape[-1]
+    return np.roll(arr, -(k % d), axis=-1)
+
+
+def permute_inverse(hv: np.ndarray, k: int) -> np.ndarray:
+    """Undo :func:`permute` with the same ``k`` (rotate right by ``k``)."""
+    return permute(hv, -k)
+
+
+def permute_rows(hvs: np.ndarray, shifts: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Rotate each row ``i`` of a ``(K, D)`` matrix left by ``shifts[i]``.
+
+    Vectorized with a gather so HDLock key application (one rotation per
+    base hypervector per feature) stays fast. Shift values are taken
+    modulo ``D``.
+    """
+    mat = np.asarray(hvs)
+    if mat.ndim != 2:
+        raise ValueError(f"expected a (K, D) matrix, got shape {mat.shape}")
+    shift_arr = np.asarray(shifts, dtype=np.int64)
+    if shift_arr.shape != (mat.shape[0],):
+        raise DimensionMismatchError(
+            f"got {shift_arr.shape[0] if shift_arr.ndim else 'scalar'} shifts "
+            f"for {mat.shape[0]} rows"
+        )
+    d = mat.shape[1]
+    cols = (np.arange(d)[None, :] + shift_arr[:, None]) % d
+    return np.take_along_axis(mat, cols, axis=1)
+
+
+def sign(accum: np.ndarray, rng: SeedLike = None) -> np.ndarray:
+    """Binarize a non-binary accumulation into a bipolar HV (Eq. 3).
+
+    Entries ``> 0`` map to ``+1``, entries ``< 0`` to ``-1``, and exact
+    zeros are assigned ``+1`` or ``-1`` uniformly at random (the paper:
+    "sign(0) is randomly assigned to -1 or 1"). Pass a seeded ``rng`` for
+    reproducible tie-breaking.
+    """
+    arr = np.asarray(accum)
+    out = np.where(arr > 0, 1, -1).astype(BIPOLAR_DTYPE)
+    zeros = arr == 0
+    n_zero = int(np.count_nonzero(zeros))
+    if n_zero:
+        gen = resolve_rng(rng)
+        out[zeros] = gen.choice(np.array([-1, 1], dtype=BIPOLAR_DTYPE), size=n_zero)
+    return out
+
+
+def invert(hv: np.ndarray) -> np.ndarray:
+    """Element-wise negation. For bipolar HVs this is the bind-inverse of
+    ``-1 * hv`` and flips all Hamming relations around 0.5."""
+    return np.negative(hv)
+
+
+def stack(hvs: Iterable[np.ndarray]) -> np.ndarray:
+    """Stack an iterable of ``(D,)`` hypervectors into a ``(K, D)`` matrix."""
+    mat = np.stack(list(hvs))
+    check_same_dim(mat)
+    return mat

@@ -1,0 +1,48 @@
+"""Random hypervector generation.
+
+Random bipolar vectors in high dimension are *quasi-orthogonal*: the
+normalized Hamming distance between two independent draws concentrates
+around 0.5 with standard deviation ``1 / (2 sqrt(D))`` (binomial). The
+paper relies on this for feature hypervectors (Eq. 1a) and for the HDLock
+base-hypervector pool (Sec. 4.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hv.ops import BIPOLAR_DTYPE, DEFAULT_DIM
+from repro.utils.rng import SeedLike, resolve_rng
+
+
+def random_hv(dim: int = DEFAULT_DIM, rng: SeedLike = None) -> np.ndarray:
+    """Draw one uniform bipolar hypervector of dimension ``dim``."""
+    return random_pool(1, dim, rng)[0]
+
+
+def random_pool(count: int, dim: int = DEFAULT_DIM, rng: SeedLike = None) -> np.ndarray:
+    """Draw ``count`` independent bipolar HVs as a ``(count, dim)`` matrix.
+
+    Rows are i.i.d. uniform over ``{-1, +1}^dim`` and therefore mutually
+    quasi-orthogonal; this is how both the feature memory of a plain HDC
+    model and the public base pool of HDLock are generated.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if dim <= 0:
+        raise ValueError(f"dim must be positive, got {dim}")
+    gen = resolve_rng(rng)
+    bits = gen.integers(0, 2, size=(count, dim), dtype=np.int8)
+    return (2 * bits - 1).astype(BIPOLAR_DTYPE)
+
+
+def shuffled_copy(pool: np.ndarray, rng: SeedLike = None) -> tuple[np.ndarray, np.ndarray]:
+    """Return a row-shuffled copy of ``pool`` plus the permutation used.
+
+    This models publishing the *unindexed* hypervector memory of the
+    threat model (Sec. 3.1): the attacker sees the rows of the returned
+    matrix but not ``perm``, where ``shuffled[j] == pool[perm[j]]``.
+    """
+    gen = resolve_rng(rng)
+    perm = gen.permutation(pool.shape[0])
+    return pool[perm].copy(), perm

@@ -1,0 +1,84 @@
+"""Similarity metrics between hypervectors.
+
+The paper uses two metrics (Sec. 2):
+
+* **normalized Hamming distance** for binary (bipolar) models —
+  fraction of positions where two HVs disagree. For bipolar vectors it
+  relates to the dot product by ``hamming = (1 - dot/(D)) / 2``.
+* **cosine similarity** for non-binary models — the angle between the
+  integer-valued encodings.
+
+All functions broadcast a ``(K, D)`` stack against a ``(D,)`` vector so
+attack code can score a whole candidate pool in one call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hv.ops import ACCUM_DTYPE, check_same_dim
+
+
+def dot(a: np.ndarray, b: np.ndarray) -> np.ndarray | np.integer:
+    """Integer dot product along the last axis (no normalization)."""
+    check_same_dim(a, b)
+    return np.sum(
+        np.asarray(a, dtype=ACCUM_DTYPE) * np.asarray(b, dtype=ACCUM_DTYPE), axis=-1
+    )
+
+
+def hamming(a: np.ndarray, b: np.ndarray) -> np.ndarray | float:
+    """Normalized Hamming distance between bipolar HVs, in ``[0, 1]``.
+
+    Orthogonal HVs score ~0.5 (Eq. 1a); identical HVs score 0. For a
+    ``(K, D)`` stack vs a ``(D,)`` vector, returns a length-``K`` array.
+    """
+    d = check_same_dim(a, b)
+    mismatches = np.count_nonzero(np.not_equal(a, b), axis=-1)
+    result = mismatches / d
+    return float(result) if np.ndim(result) == 0 else result
+
+
+def cosine(a: np.ndarray, b: np.ndarray) -> np.ndarray | float:
+    """Cosine similarity along the last axis, in ``[-1, 1]``.
+
+    A zero vector has undefined angle; it scores 0 against everything
+    (this situation only arises for degenerate all-tie accumulations).
+    """
+    check_same_dim(a, b)
+    af = np.asarray(a, dtype=np.float64)
+    bf = np.asarray(b, dtype=np.float64)
+    num = np.sum(af * bf, axis=-1)
+    denom = np.linalg.norm(af, axis=-1) * np.linalg.norm(bf, axis=-1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        result = np.where(denom == 0, 0.0, num / np.where(denom == 0, 1.0, denom))
+    return float(result) if np.ndim(result) == 0 else result
+
+
+def pairwise_hamming(pool: np.ndarray) -> np.ndarray:
+    """All-pairs normalized Hamming distance matrix of a ``(K, D)`` pool.
+
+    Computed through the Gram matrix (``hamming = (1 - gram/D) / 2``)
+    which is a single ``K x K`` matmul instead of ``K^2`` vector passes.
+    The attacker uses this on the published value-HV pool to find the two
+    extreme levels (Sec. 3.2, "Value Hypervector Extraction").
+    """
+    mat = np.asarray(pool, dtype=np.float64)
+    if mat.ndim != 2:
+        raise ValueError(f"expected a (K, D) pool, got shape {mat.shape}")
+    d = mat.shape[1]
+    gram = mat @ mat.T
+    return (1.0 - gram / d) / 2.0
+
+
+def nearest(pool: np.ndarray, target: np.ndarray, metric: str = "hamming") -> int:
+    """Index of the pool row most similar to ``target``.
+
+    ``metric`` is ``"hamming"`` (smaller is closer, binary models) or
+    ``"cosine"`` (larger is closer, non-binary models).
+    """
+    if metric == "hamming":
+        return int(np.argmin(hamming(pool, target)))
+    if metric == "cosine":
+        return int(np.argmax(cosine(pool, target)))
+    raise ValueError(f"unknown metric {metric!r}; expected 'hamming' or 'cosine'")

@@ -1,0 +1,16 @@
+"""Memory model: item memories, the public/secure split, HDLock keys."""
+
+from repro.memory.item_memory import FeatureMemory, LevelMemory
+from repro.memory.key import LockKey, SubKey
+from repro.memory.secure import OWNER, AccessRecord, PublicMemory, SecureMemory
+
+__all__ = [
+    "FeatureMemory",
+    "LevelMemory",
+    "LockKey",
+    "SubKey",
+    "PublicMemory",
+    "SecureMemory",
+    "AccessRecord",
+    "OWNER",
+]

@@ -1,0 +1,129 @@
+"""Item memories: the indexed hypervector stores of an HDC model.
+
+A plain HDC classifier owns two item memories (paper Fig. 1):
+
+* :class:`FeatureMemory` — ``N`` quasi-orthogonal feature hypervectors,
+  one per input feature index (Eq. 1a);
+* :class:`LevelMemory` — ``M`` linearly correlated value hypervectors,
+  one per discretized feature value (Eq. 1b).
+
+The *index mapping* (which row belongs to which feature / level) is the
+model IP the paper is about: the threat model publishes the rows but
+hides the mapping (see :mod:`repro.memory.secure`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionMismatchError
+from repro.hv.level import level_hvs
+from repro.hv.random import random_pool
+from repro.utils.rng import SeedLike
+
+
+class FeatureMemory:
+    """Indexed store of ``N`` feature hypervectors (``FeaHV_1..FeaHV_N``)."""
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        arr = np.asarray(matrix)
+        if arr.ndim != 2:
+            raise ConfigurationError(
+                f"feature memory needs a (N, D) matrix, got shape {arr.shape}"
+            )
+        self._matrix = arr
+
+    @classmethod
+    def random(cls, n_features: int, dim: int, rng: SeedLike = None) -> "FeatureMemory":
+        """Generate ``n_features`` fresh quasi-orthogonal feature HVs."""
+        return cls(random_pool(n_features, dim, rng))
+
+    @property
+    def n_features(self) -> int:
+        """Number of feature hypervectors ``N``."""
+        return int(self._matrix.shape[0])
+
+    @property
+    def dim(self) -> int:
+        """Hypervector dimensionality ``D``."""
+        return int(self._matrix.shape[1])
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The full ``(N, D)`` matrix, row ``i`` = ``FeaHV_{i+1}``."""
+        return self._matrix
+
+    def vector(self, feature_index: int) -> np.ndarray:
+        """The hypervector of one feature index (0-based)."""
+        return self._matrix[feature_index]
+
+    def remapped(self, permutation: np.ndarray) -> "FeatureMemory":
+        """A new memory whose row ``i`` is this memory's row
+        ``permutation[i]`` — used to build an attacker's reconstructed
+        memory from a recovered mapping."""
+        perm = np.asarray(permutation)
+        if perm.shape != (self.n_features,):
+            raise DimensionMismatchError(
+                f"permutation length {perm.shape} != n_features {self.n_features}"
+            )
+        return FeatureMemory(self._matrix[perm].copy())
+
+
+class LevelMemory:
+    """Indexed store of ``M`` value hypervectors (``ValHV_1..ValHV_M``).
+
+    Row ``v`` encodes discretized value level ``v`` (0-based). Rows obey
+    the linear-distance law of Eq. 1b.
+    """
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        arr = np.asarray(matrix)
+        if arr.ndim != 2 or arr.shape[0] < 2:
+            raise ConfigurationError(
+                f"level memory needs a (M>=2, D) matrix, got shape {arr.shape}"
+            )
+        self._matrix = arr
+
+    @classmethod
+    def random(cls, levels: int, dim: int, rng: SeedLike = None) -> "LevelMemory":
+        """Generate a fresh ``levels``-step linear level memory."""
+        return cls(level_hvs(levels, dim, rng))
+
+    @property
+    def levels(self) -> int:
+        """Number of discretized value levels ``M``."""
+        return int(self._matrix.shape[0])
+
+    @property
+    def dim(self) -> int:
+        """Hypervector dimensionality ``D``."""
+        return int(self._matrix.shape[1])
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The full ``(M, D)`` matrix, row ``v`` = ``ValHV_{v+1}``."""
+        return self._matrix
+
+    @property
+    def minimum(self) -> np.ndarray:
+        """``ValHV_1`` — hypervector of the minimum value level."""
+        return self._matrix[0]
+
+    @property
+    def maximum(self) -> np.ndarray:
+        """``ValHV_M`` — hypervector of the maximum value level."""
+        return self._matrix[-1]
+
+    def vector(self, level: int) -> np.ndarray:
+        """The hypervector of one value level (0-based)."""
+        return self._matrix[level]
+
+    def remapped(self, permutation: np.ndarray) -> "LevelMemory":
+        """A new memory with rows re-ordered by ``permutation`` (level
+        ``v`` of the result is this memory's row ``permutation[v]``)."""
+        perm = np.asarray(permutation)
+        if perm.shape != (self.levels,):
+            raise DimensionMismatchError(
+                f"permutation length {perm.shape} != levels {self.levels}"
+            )
+        return LevelMemory(self._matrix[perm].copy())

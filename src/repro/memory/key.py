@@ -1,0 +1,174 @@
+"""HDLock key containers.
+
+An HDLock key (paper Sec. 4.1) regulates how each feature hypervector is
+derived from the public base pool::
+
+    FeaHV_i = prod_{l=1..L} rho^{k_{i,l}}(B_{index(i,l)})
+
+so the key stores, for every feature ``i`` and layer ``l``, the base
+index ``index(i, l)`` in ``[0, P)`` and the rotation ``k_{i,l}`` in
+``[0, D)``. That is ``N * L * (ceil(log2 P) + ceil(log2 D))`` bits —
+kilobits for paper-scale models, versus megabytes for the hypervectors
+themselves, which is why the key fits in tamper-proof memory.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import KeyFormatError
+
+
+@dataclass(frozen=True)
+class SubKey:
+    """The key material of a single feature: ``L`` (index, rotation) pairs.
+
+    ``indices[l]`` selects the base hypervector of layer ``l`` from the
+    public pool; ``rotations[l]`` is the circular-rotation amount applied
+    to it before binding.
+    """
+
+    indices: Tuple[int, ...]
+    rotations: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.indices) != len(self.rotations):
+            raise KeyFormatError(
+                f"subkey has {len(self.indices)} indices but "
+                f"{len(self.rotations)} rotations"
+            )
+        if len(self.indices) == 0:
+            raise KeyFormatError("subkey needs at least one layer")
+
+    @property
+    def layers(self) -> int:
+        """Number of key layers ``L`` of this subkey."""
+        return len(self.indices)
+
+    def pairs(self) -> Iterator[Tuple[int, int]]:
+        """Iterate ``(index, rotation)`` pairs layer by layer."""
+        return zip(self.indices, self.rotations)
+
+
+class LockKey:
+    """The full HDLock key: one :class:`SubKey` per feature, plus the
+    pool/dimension metadata needed to validate and apply it."""
+
+    def __init__(
+        self,
+        subkeys: Sequence[SubKey],
+        pool_size: int,
+        dim: int,
+    ) -> None:
+        if not subkeys:
+            raise KeyFormatError("a lock key needs at least one subkey")
+        layer_counts = {sk.layers for sk in subkeys}
+        if len(layer_counts) != 1:
+            raise KeyFormatError(
+                f"all subkeys must share one layer count, got {sorted(layer_counts)}"
+            )
+        self.subkeys = tuple(subkeys)
+        self.pool_size = int(pool_size)
+        self.dim = int(dim)
+        self._validate_ranges()
+
+    def _validate_ranges(self) -> None:
+        for i, sk in enumerate(self.subkeys):
+            for index, rotation in sk.pairs():
+                if not 0 <= index < self.pool_size:
+                    raise KeyFormatError(
+                        f"feature {i}: base index {index} outside pool of "
+                        f"size {self.pool_size}"
+                    )
+                if not 0 <= rotation < self.dim:
+                    raise KeyFormatError(
+                        f"feature {i}: rotation {rotation} outside [0, {self.dim})"
+                    )
+
+    @property
+    def n_features(self) -> int:
+        """Number of features ``N`` this key derives hypervectors for."""
+        return len(self.subkeys)
+
+    @property
+    def layers(self) -> int:
+        """Number of key layers ``L``."""
+        return self.subkeys[0].layers
+
+    def to_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(indices, rotations)`` as two ``(N, L)`` int arrays,
+        the layout the vectorized feature factory consumes."""
+        idx = np.array([sk.indices for sk in self.subkeys], dtype=np.int64)
+        rot = np.array([sk.rotations for sk in self.subkeys], dtype=np.int64)
+        return idx, rot
+
+    @classmethod
+    def from_arrays(
+        cls, indices: np.ndarray, rotations: np.ndarray, pool_size: int, dim: int
+    ) -> "LockKey":
+        """Build a key from ``(N, L)`` index and rotation arrays."""
+        idx = np.asarray(indices)
+        rot = np.asarray(rotations)
+        if idx.shape != rot.shape or idx.ndim != 2:
+            raise KeyFormatError(
+                f"index/rotation arrays must share an (N, L) shape, got "
+                f"{idx.shape} and {rot.shape}"
+            )
+        subkeys = [
+            SubKey(tuple(int(v) for v in idx[i]), tuple(int(v) for v in rot[i]))
+            for i in range(idx.shape[0])
+        ]
+        return cls(subkeys, pool_size=pool_size, dim=dim)
+
+    def storage_bits(self) -> int:
+        """Secure-memory footprint of the key in bits.
+
+        ``N * L * (ceil(log2 P) + ceil(log2 D))`` — the quantity compared
+        against the megabyte-scale hypervector memory in Sec. 3.1.
+        """
+        index_bits = max(math.ceil(math.log2(self.pool_size)), 1)
+        rotation_bits = max(math.ceil(math.log2(self.dim)), 1)
+        return self.n_features * self.layers * (index_bits + rotation_bits)
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string (owner-side key escrow format)."""
+        payload = {
+            "pool_size": self.pool_size,
+            "dim": self.dim,
+            "indices": [list(sk.indices) for sk in self.subkeys],
+            "rotations": [list(sk.rotations) for sk in self.subkeys],
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "LockKey":
+        """Parse a key serialized with :meth:`to_json`."""
+        try:
+            payload = json.loads(text)
+            indices = np.array(payload["indices"], dtype=np.int64)
+            rotations = np.array(payload["rotations"], dtype=np.int64)
+            return cls.from_arrays(
+                indices, rotations, payload["pool_size"], payload["dim"]
+            )
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            raise KeyFormatError(f"malformed lock key JSON: {exc}") from exc
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LockKey):
+            return NotImplemented
+        return (
+            self.pool_size == other.pool_size
+            and self.dim == other.dim
+            and self.subkeys == other.subkeys
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"LockKey(n_features={self.n_features}, layers={self.layers}, "
+            f"pool_size={self.pool_size}, dim={self.dim})"
+        )

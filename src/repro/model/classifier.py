@@ -1,0 +1,181 @@
+"""HDC classification model (paper Fig. 1).
+
+Training accumulates encoded samples into per-class hypervectors
+(Eq. 4); inference encodes a query and returns the most similar class —
+cosine similarity for the non-binary model, normalized Hamming distance
+for the binary one (Sec. 2, "Inference").
+
+The classifier always keeps the *non-binary* class accumulators as its
+trainable state. The binary model binarizes them on read (QuantHD [4]
+keeps exactly this split so iterative retraining has integer state to
+update while inference stays binary).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.encoding.base import Encoder
+from repro.errors import ConfigurationError, DimensionMismatchError
+from repro.hv.ops import sign
+from repro.hv.similarity import cosine, hamming
+from repro.utils.rng import SeedLike, resolve_rng
+
+
+class HDClassifier:
+    """HDC classifier over any :class:`~repro.encoding.base.Encoder`.
+
+    ``binary`` selects the paper's binary model (binary encodings, binary
+    class HVs, Hamming similarity); otherwise the non-binary model
+    (integer encodings, integer class HVs, cosine similarity).
+    """
+
+    def __init__(
+        self,
+        encoder: Encoder,
+        n_classes: int,
+        binary: bool = True,
+        rng: SeedLike = None,
+    ) -> None:
+        if n_classes < 2:
+            raise ConfigurationError(f"need at least 2 classes, got {n_classes}")
+        self.encoder = encoder
+        self.n_classes = int(n_classes)
+        self.binary = binary
+        self._rng = resolve_rng(rng)
+        self._accums: Optional[np.ndarray] = None
+        # Binarized class memory, cached so that sign(0) tie-breaks are
+        # drawn once per training state: a deployed binary model's class
+        # hypervectors are fixed bits, not re-randomized per query.
+        self._binary_classes: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+
+    def _check_labels(self, labels: np.ndarray, count: int) -> np.ndarray:
+        arr = np.asarray(labels)
+        if arr.shape != (count,):
+            raise DimensionMismatchError(
+                f"labels shape {arr.shape} does not match {count} samples"
+            )
+        if arr.size and (arr.min() < 0 or arr.max() >= self.n_classes):
+            raise ConfigurationError(
+                f"labels must lie in [0, {self.n_classes}), got "
+                f"[{arr.min()}, {arr.max()}]"
+            )
+        return arr.astype(np.int64)
+
+    def encode_training(self, samples: np.ndarray) -> np.ndarray:
+        """Encode a training batch once, in the model's native domain.
+
+        Exposed so callers (retraining loops, attack evaluation) can
+        reuse the expensive encoding pass across epochs.
+        """
+        return self.encoder.encode_batch(np.asarray(samples), binary=self.binary)
+
+    def fit(
+        self,
+        samples: np.ndarray,
+        labels: np.ndarray,
+        encoded: Optional[np.ndarray] = None,
+    ) -> "HDClassifier":
+        """One-shot training: sum each class's encodings (Eq. 4).
+
+        Pass ``encoded`` to skip re-encoding when the caller already has
+        the encoded batch.
+        """
+        if encoded is None:
+            encoded = self.encode_training(samples)
+        labels_arr = self._check_labels(labels, encoded.shape[0])
+        accums = np.zeros((self.n_classes, self.encoder.dim), dtype=np.float64)
+        np.add.at(accums, labels_arr, encoded.astype(np.float64))
+        self._accums = accums
+        self._binary_classes = None
+        return self
+
+    def retrain(
+        self,
+        samples: np.ndarray,
+        labels: np.ndarray,
+        epochs: int = 5,
+        learning_rate: float = 1.0,
+        encoded: Optional[np.ndarray] = None,
+    ) -> list[float]:
+        """QuantHD-style iterative refinement of the class memory.
+
+        For each misclassified sample the encoded HV is added (scaled by
+        ``learning_rate``) to the true class accumulator and subtracted
+        from the predicted one. Returns the training accuracy after each
+        epoch. Requires :meth:`fit` (or a previous retrain) first.
+        """
+        if self._accums is None:
+            raise ConfigurationError("fit the model before retraining")
+        if epochs < 0:
+            raise ConfigurationError(f"epochs must be >= 0, got {epochs}")
+        if encoded is None:
+            encoded = self.encode_training(samples)
+        labels_arr = self._check_labels(labels, encoded.shape[0])
+        history: list[float] = []
+        encoded_f = encoded.astype(np.float64)
+        for _ in range(epochs):
+            predictions = self._predict_encoded(encoded)
+            wrong = predictions != labels_arr
+            for b in np.flatnonzero(wrong):
+                hv = learning_rate * encoded_f[b]
+                self._accums[labels_arr[b]] += hv
+                self._accums[predictions[b]] -= hv
+            if wrong.any():
+                self._binary_classes = None
+            history.append(float(np.mean(predictions == labels_arr)))
+        return history
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+
+    @property
+    def class_matrix(self) -> np.ndarray:
+        """The ``(C, D)`` class hypervectors used at inference time.
+
+        Binarized view for the binary model, raw accumulators otherwise.
+        """
+        if self._accums is None:
+            raise ConfigurationError("model is untrained; call fit first")
+        if self.binary:
+            if self._binary_classes is None:
+                self._binary_classes = sign(self._accums, self._rng)
+            return self._binary_classes
+        return self._accums
+
+    def _predict_encoded(self, encoded: np.ndarray) -> np.ndarray:
+        classes = self.class_matrix
+        if self.binary:
+            # (B, C) pairwise Hamming distances; nearest class wins.
+            distances = np.stack([hamming(classes, hv) for hv in encoded])
+            return np.argmin(distances, axis=1)
+        similarities = np.stack([cosine(classes, hv) for hv in encoded])
+        return np.argmax(similarities, axis=1)
+
+    def predict(self, samples: np.ndarray) -> np.ndarray:
+        """Predict class labels for a ``(B, N)`` batch of level vectors."""
+        encoded = self.encoder.encode_batch(np.asarray(samples), binary=self.binary)
+        return self._predict_encoded(encoded)
+
+    def similarity_profile(self, sample: np.ndarray) -> np.ndarray:
+        """Per-class similarity of one sample (cosine or ``1 - hamming``).
+
+        Useful for inspecting decision margins; higher is always more
+        similar regardless of model flavor.
+        """
+        encoded = self.encoder.encode(np.asarray(sample), binary=self.binary)
+        if self.binary:
+            return 1.0 - np.asarray(hamming(self.class_matrix, encoded))
+        return np.asarray(cosine(self.class_matrix, encoded))
+
+    def score(self, samples: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy on a labeled batch."""
+        labels_arr = self._check_labels(labels, np.asarray(samples).shape[0])
+        return float(np.mean(self.predict(samples) == labels_arr))

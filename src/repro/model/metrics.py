@@ -1,0 +1,44 @@
+"""Classification metrics for model evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of predictions equal to labels."""
+    pred = np.asarray(predictions)
+    lab = np.asarray(labels)
+    if pred.shape != lab.shape:
+        raise DimensionMismatchError(
+            f"predictions shape {pred.shape} != labels shape {lab.shape}"
+        )
+    if pred.size == 0:
+        raise ValueError("cannot compute accuracy of zero samples")
+    return float(np.mean(pred == lab))
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """``(C, C)`` matrix with true classes on rows, predictions on columns."""
+    pred = np.asarray(predictions, dtype=np.int64)
+    lab = np.asarray(labels, dtype=np.int64)
+    if pred.shape != lab.shape:
+        raise DimensionMismatchError(
+            f"predictions shape {pred.shape} != labels shape {lab.shape}"
+        )
+    out = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(out, (lab, pred), 1)
+    return out
+
+
+def per_class_recall(conf: np.ndarray) -> np.ndarray:
+    """Recall of each class from a confusion matrix (NaN-free: empty
+    classes report 0)."""
+    mat = np.asarray(conf, dtype=np.float64)
+    totals = mat.sum(axis=1)
+    diag = np.diag(mat)
+    return np.where(totals > 0, diag / np.where(totals > 0, totals, 1.0), 0.0)

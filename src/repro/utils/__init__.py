@@ -1,0 +1,17 @@
+"""Small shared utilities: seeded RNG handling, timers, ASCII tables."""
+
+from repro.utils.rng import DEFAULT_SEED, derive_seed, resolve_rng, spawn_rngs
+from repro.utils.tables import format_quantity, format_seconds, render_table
+from repro.utils.timer import Timer, time_call
+
+__all__ = [
+    "DEFAULT_SEED",
+    "derive_seed",
+    "resolve_rng",
+    "spawn_rngs",
+    "Timer",
+    "time_call",
+    "render_table",
+    "format_quantity",
+    "format_seconds",
+]

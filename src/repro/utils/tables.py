@@ -1,0 +1,66 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment modules reproduce the paper's tables and figure series as
+text so the benchmark harness can print them without any plotting
+dependency. The helpers here keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_quantity(value: float) -> str:
+    """Format a count that may span many orders of magnitude.
+
+    Small integers print exactly (``784``); large values use scientific
+    notation with two decimals (``4.81e+16``) to match how the paper
+    quotes attack complexities.
+    """
+    if value == 0:
+        return "0"
+    if abs(value) < 1e6 and float(value).is_integer():
+        return str(int(value))
+    return f"{value:.2e}"
+
+
+def format_seconds(seconds: float) -> str:
+    """Format a duration the way Table 1 of the paper does (seconds)."""
+    if seconds < 0.01:
+        return f"{seconds * 1e3:.3f}ms"
+    return f"{seconds:.2f}s"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    All cells are stringified with ``str``; numeric alignment is right,
+    text alignment is left, mirroring common benchmark-report layouts.
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    str_headers = [str(h) for h in headers]
+    widths = [len(h) for h in str_headers]
+    for row in str_rows:
+        if len(row) != len(str_headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(str_headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(fmt_row(str_headers))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Tests for the exhaustive single-layer key-recovery attack."""
+
+import numpy as np
+import pytest
+
+from repro.attack.adaptive import (
+    attack_single_layer,
+    extrapolate_multi_layer_seconds,
+)
+from repro.attack.threat_model import expose_locked_model
+from repro.errors import AttackError, ConfigurationError
+from repro.hdlock.lock import create_locked_encoder
+
+N, M, D, P = 12, 6, 512, 8
+
+
+def deploy(layers: int, binary: bool, seed: int = 0):
+    system = create_locked_encoder(
+        n_features=N, levels=M, dim=D, layers=layers, pool_size=P, rng=seed
+    )
+    surface, _ = expose_locked_model(system.encoder, binary=binary)
+    return system, surface
+
+
+class TestAttackSingleLayer:
+    @pytest.mark.parametrize("binary", [True, False])
+    def test_recovers_the_key(self, binary):
+        system, surface = deploy(layers=1, binary=binary)
+        result = attack_single_layer(surface)
+        assert result.recovered == system.key
+        assert result.guesses == N * P * D
+        assert result.scores.max() < 0.12
+
+    def test_reports_timing(self):
+        _, surface = deploy(layers=1, binary=True, seed=1)
+        result = attack_single_layer(surface)
+        assert result.seconds > 0
+        assert result.per_guess_seconds > 0
+
+    def test_refuses_two_layer_deployment(self):
+        """Against L=2 no single-layer key explains the observations —
+        the attack must fail loudly, not return garbage."""
+        _, surface = deploy(layers=2, binary=True, seed=2)
+        with pytest.raises(AttackError):
+            attack_single_layer(surface)
+
+    def test_oracle_budget_is_two_per_feature(self):
+        _, surface = deploy(layers=1, binary=True, seed=3)
+        before = surface.oracle.n_queries
+        attack_single_layer(surface)
+        assert surface.oracle.n_queries - before == 2 * N
+
+
+class TestExtrapolation:
+    def test_scales_with_layers(self):
+        _, surface = deploy(layers=1, binary=True, seed=4)
+        result = attack_single_layer(surface)
+        t1 = extrapolate_multi_layer_seconds(result, surface, 1)
+        t2 = extrapolate_multi_layer_seconds(result, surface, 2)
+        assert t2 / t1 == pytest.approx(D * P)
+
+    def test_l1_extrapolation_consistent_with_measurement(self):
+        """The L=1 projection must be the measured runtime (same count)."""
+        _, surface = deploy(layers=1, binary=True, seed=5)
+        result = attack_single_layer(surface)
+        projected = extrapolate_multi_layer_seconds(result, surface, 1)
+        assert projected == pytest.approx(result.seconds, rel=0.01)
+
+    def test_invalid_layers(self):
+        _, surface = deploy(layers=1, binary=True, seed=6)
+        result = attack_single_layer(surface)
+        with pytest.raises(ConfigurationError):
+            extrapolate_multi_layer_seconds(result, surface, 0)

@@ -1,0 +1,156 @@
+"""Tests for the Sec. 4.2 guess criterion against HDLock."""
+
+import numpy as np
+import pytest
+
+from repro.attack.hdlock_attack import (
+    as_attack_surface,
+    observe_difference,
+    score_guess,
+    sweep_parameter,
+)
+from repro.attack.threat_model import expose_locked_model
+from repro.errors import ConfigurationError
+from repro.hdlock.lock import create_locked_encoder
+from repro.memory.key import SubKey
+
+N, M, D, P, L = 32, 6, 2048, 32, 2
+
+
+@pytest.fixture
+def system():
+    return create_locked_encoder(
+        n_features=N, levels=M, dim=D, layers=L, pool_size=P, rng=0
+    )
+
+
+@pytest.fixture
+def binary_surface(system):
+    surface, _ = expose_locked_model(system.encoder, binary=True)
+    return surface
+
+
+@pytest.fixture
+def nonbinary_surface(system):
+    surface, _ = expose_locked_model(system.encoder, binary=False)
+    return surface
+
+
+class TestObserveDifference:
+    def test_support_nonempty_and_valid(self, binary_surface):
+        obs = observe_difference(binary_surface, feature=0)
+        assert obs.support.size > 0
+        assert obs.queries == 2
+        assert set(np.unique(obs.target)).issubset({-1, 1})
+
+    def test_support_within_value_delta(self, binary_surface):
+        obs = observe_difference(binary_surface, feature=0)
+        delta = (
+            binary_surface.value_matrix[0].astype(int)
+            - binary_surface.value_matrix[-1].astype(int)
+        )
+        assert (delta[obs.support] != 0).all()
+
+    def test_nonbinary_difference_is_exact(self, nonbinary_surface, system):
+        """Non-binary: H^1 - H^M equals (ValHV_1 - ValHV_M) * FeaHV."""
+        obs = observe_difference(nonbinary_surface, feature=0)
+        v_delta = (
+            nonbinary_surface.value_matrix[0].astype(np.int64)
+            - nonbinary_surface.value_matrix[-1].astype(np.int64)
+        )
+        fea = system.encoder.feature_matrix[0].astype(np.int64)
+        expected = (v_delta * fea)[obs.support]
+        np.testing.assert_array_equal(obs.target, expected)
+
+    def test_invalid_feature(self, binary_surface):
+        with pytest.raises(ConfigurationError):
+            observe_difference(binary_surface, feature=N)
+
+
+class TestScoreGuess:
+    def test_correct_key_scores_perfectly(self, binary_surface, system):
+        obs = observe_difference(binary_surface, feature=0)
+        truth = system.key.subkeys[0]
+        assert score_guess(binary_surface, obs, truth) == pytest.approx(
+            0.0, abs=0.02
+        )
+
+    def test_correct_key_cosine_one(self, nonbinary_surface, system):
+        obs = observe_difference(nonbinary_surface, feature=0)
+        truth = system.key.subkeys[0]
+        assert score_guess(nonbinary_surface, obs, truth) == pytest.approx(1.0)
+
+    def test_wrong_key_near_chance(self, binary_surface, system):
+        obs = observe_difference(binary_surface, feature=0)
+        truth = system.key.subkeys[0]
+        wrong = SubKey(
+            truth.indices, ((truth.rotations[0] + 7) % D, truth.rotations[1])
+        )
+        assert score_guess(binary_surface, obs, wrong) > 0.25
+
+    def test_wrong_key_cosine_near_zero(self, nonbinary_surface, system):
+        obs = observe_difference(nonbinary_surface, feature=0)
+        truth = system.key.subkeys[0]
+        wrong = SubKey(
+            ((truth.indices[0] + 1) % P, truth.indices[1]), truth.rotations
+        )
+        assert abs(score_guess(nonbinary_surface, obs, wrong)) < 0.4
+
+
+class TestSweepParameter:
+    @pytest.mark.parametrize("parameter,layer", [
+        ("rotation", 0), ("index", 0), ("rotation", 1), ("index", 1),
+    ])
+    def test_binary_panels_separate(self, binary_surface, system, parameter, layer):
+        sweep = sweep_parameter(
+            binary_surface, system.key, parameter, layer, max_wrong=40
+        )
+        assert sweep.metric == "hamming"
+        assert sweep.correct_score == pytest.approx(0.0, abs=0.02)
+        assert sweep.separation > 0.1
+
+    @pytest.mark.parametrize("parameter,layer", [("rotation", 0), ("index", 1)])
+    def test_nonbinary_panels_separate(
+        self, nonbinary_surface, system, parameter, layer
+    ):
+        sweep = sweep_parameter(
+            nonbinary_surface, system.key, parameter, layer, max_wrong=40
+        )
+        assert sweep.metric == "cosine"
+        assert sweep.correct_score == pytest.approx(1.0)
+        assert sweep.separation > 0.4
+
+    def test_candidate_budget_respected(self, binary_surface, system):
+        sweep = sweep_parameter(
+            binary_surface, system.key, "rotation", 0, max_wrong=10
+        )
+        assert sweep.candidates.size == 11
+        assert sweep.scores.size == 11
+
+    def test_full_rotation_space_without_cap(self, binary_surface, system):
+        sweep = sweep_parameter(binary_surface, system.key, "rotation", 0)
+        assert sweep.candidates.size == D
+
+    def test_correct_candidate_first(self, binary_surface, system):
+        sweep = sweep_parameter(
+            binary_surface, system.key, "index", 0, max_wrong=5
+        )
+        assert sweep.candidates[0] == system.key.subkeys[0].indices[0]
+
+    def test_bad_parameter_name(self, binary_surface, system):
+        with pytest.raises(ConfigurationError):
+            sweep_parameter(binary_surface, system.key, "phase", 0)
+
+    def test_bad_layer(self, binary_surface, system):
+        with pytest.raises(ConfigurationError):
+            sweep_parameter(binary_surface, system.key, "rotation", L)
+
+
+class TestAsAttackSurface:
+    def test_plain_attack_sees_no_dip(self, binary_surface):
+        from repro.attack.feature_extraction import guess_distance_series
+
+        plain = as_attack_surface(binary_surface)
+        series = guess_distance_series(plain, np.arange(M), feature=0)
+        # No candidate in the base pool matches the derived FeaHV.
+        assert series.min() > 0.35

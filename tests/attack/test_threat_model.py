@@ -1,0 +1,85 @@
+"""Tests for the attacker-view construction."""
+
+import numpy as np
+import pytest
+
+from repro.attack.threat_model import expose_locked_model, expose_model
+from repro.encoding.record import RecordEncoder
+from repro.errors import SecureMemoryError
+
+N, M, D = 16, 4, 512
+
+
+@pytest.fixture
+def encoder() -> RecordEncoder:
+    return RecordEncoder.random(N, M, D, rng=0)
+
+
+class TestExposeModel:
+    def test_pools_are_shuffled_copies(self, encoder):
+        surface, truth = expose_model(encoder, rng=1)
+        # every true row appears exactly once in the published pool
+        for i in range(N):
+            j = truth.feature_assignment[i]
+            np.testing.assert_array_equal(
+                surface.feature_pool[j], encoder.feature_memory.matrix[i]
+            )
+        for v in range(M):
+            j = truth.value_assignment[v]
+            np.testing.assert_array_equal(
+                surface.value_pool[j], encoder.level_memory.matrix[v]
+            )
+
+    def test_assignments_are_permutations(self, encoder):
+        _, truth = expose_model(encoder, rng=2)
+        assert sorted(truth.feature_assignment) == list(range(N))
+        assert sorted(truth.value_assignment) == list(range(M))
+
+    def test_surface_shape_properties(self, encoder):
+        surface, _ = expose_model(encoder, binary=False, rng=3)
+        assert surface.n_features == N
+        assert surface.levels == M
+        assert surface.dim == D
+        assert not surface.binary
+
+    def test_secure_memory_refuses_attacker(self, encoder):
+        _, truth = expose_model(encoder, rng=4)
+        with pytest.raises(SecureMemoryError):
+            truth.secure_memory.load("feature_placement", actor="attacker")
+
+    def test_oracle_answers_queries(self, encoder, rng):
+        surface, _ = expose_model(encoder, rng=5)
+        out = surface.oracle.query(rng.integers(0, M, N))
+        assert out.shape == (D,)
+
+    def test_shuffle_differs_across_seeds(self, encoder):
+        _, t1 = expose_model(encoder, rng=6)
+        _, t2 = expose_model(encoder, rng=7)
+        assert not np.array_equal(t1.feature_assignment, t2.feature_assignment)
+
+
+class TestExposeLockedModel:
+    def test_key_in_secure_memory_only(self, locked_system):
+        surface, secure = expose_locked_model(locked_system.encoder)
+        assert "lock_key" in secure
+        with pytest.raises(SecureMemoryError):
+            secure.load("lock_key", actor="attacker")
+        assert secure.load("lock_key") == locked_system.key
+
+    def test_base_pool_published_unshuffled(self, locked_system):
+        surface, _ = expose_locked_model(locked_system.encoder)
+        np.testing.assert_array_equal(
+            surface.base_pool, locked_system.base_pool
+        )
+
+    def test_value_matrix_in_level_order(self, locked_system):
+        surface, _ = expose_locked_model(locked_system.encoder)
+        np.testing.assert_array_equal(
+            surface.value_matrix, locked_system.encoder.level_memory.matrix
+        )
+
+    def test_shape_properties(self, locked_system):
+        surface, _ = expose_locked_model(locked_system.encoder, binary=True)
+        assert surface.n_features == 40
+        assert surface.pool_size == 40
+        assert surface.binary

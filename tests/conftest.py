@@ -1,0 +1,69 @@
+"""Shared fixtures: small, fast model instances for unit/integration tests.
+
+Dimensions are deliberately tiny (D in the hundreds) — every statistical
+property used by the library concentrates fast enough to assert at these
+sizes, and the suite stays snappy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticSpec, make_dataset
+from repro.encoding.record import RecordEncoder
+from repro.experiments.config import ExperimentScale
+from repro.hdlock.lock import create_locked_encoder
+
+#: Default test dimensionality: large enough for clean concentration,
+#: small enough for speed.
+TEST_DIM = 1024
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def small_encoder() -> RecordEncoder:
+    """An unprotected encoder: N=40, M=8, D=1024."""
+    return RecordEncoder.random(40, 8, TEST_DIM, rng=101)
+
+
+@pytest.fixture
+def locked_system():
+    """A two-layer locked system with the same shape as small_encoder."""
+    return create_locked_encoder(
+        n_features=40, levels=8, dim=TEST_DIM, layers=2, rng=202
+    )
+
+
+@pytest.fixture
+def tiny_dataset():
+    """A small learnable dataset (N=40, C=3, M=8)."""
+    spec = SyntheticSpec(
+        name="tiny",
+        n_features=40,
+        n_classes=3,
+        levels=8,
+        train_samples=90,
+        test_samples=45,
+        noise_sigma=0.30,
+    )
+    return make_dataset(spec, rng=303)
+
+
+@pytest.fixture
+def test_scale() -> ExperimentScale:
+    """An even smaller scale than 'reduced' for experiment smoke tests."""
+    return ExperimentScale(
+        name="test",
+        dim=512,
+        sample_scale=0.05,
+        retrain_epochs=1,
+        sweep_max_wrong=20,
+        fig8_dim=512,
+        fig8_sample_scale=0.04,
+    )

@@ -1,0 +1,111 @@
+"""Tests for the benchmark registry and the split helpers."""
+
+import numpy as np
+import pytest
+
+from repro.data.benchmarks import (
+    BENCHMARK_ORDER,
+    BENCHMARKS,
+    PAPER_REFERENCE,
+    benchmark_spec,
+    load_benchmark,
+)
+from repro.data.splits import stratified_indices, train_test_split
+from repro.errors import ConfigurationError, DimensionMismatchError
+
+
+class TestRegistry:
+    def test_all_five_present(self):
+        assert set(BENCHMARK_ORDER) == {"mnist", "ucihar", "face", "isolet", "pamap"}
+        assert set(BENCHMARKS) == set(BENCHMARK_ORDER)
+        assert set(PAPER_REFERENCE) == set(BENCHMARK_ORDER)
+
+    def test_paper_shapes(self):
+        assert BENCHMARKS["mnist"].n_features == 784
+        assert BENCHMARKS["mnist"].n_classes == 10
+        assert BENCHMARKS["ucihar"].n_features == 561
+        assert BENCHMARKS["isolet"].n_classes == 26
+        assert BENCHMARKS["face"].n_classes == 2
+        assert BENCHMARKS["pamap"].n_classes == 5
+
+    def test_reasoning_time_ordering_matches_paper(self):
+        """Per the paper's Table 1, FACE takes longest and PAMAP least;
+        attack cost scales with N^2, so shapes must preserve the order."""
+        n = {name: BENCHMARKS[name].n_features for name in BENCHMARK_ORDER}
+        assert n["face"] > n["mnist"] > n["isolet"] > n["ucihar"] > n["pamap"]
+
+    def test_ceiling_tracks_paper_accuracy(self):
+        for name in BENCHMARK_ORDER:
+            ceiling = BENCHMARKS[name].accuracy_ceiling
+            target = PAPER_REFERENCE[name].nonbinary_accuracy
+            assert ceiling == pytest.approx(target, abs=0.02)
+
+    def test_lookup_case_insensitive(self):
+        assert benchmark_spec("MNIST").name == "mnist"
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ConfigurationError):
+            benchmark_spec("imagenet")
+
+
+class TestLoadBenchmark:
+    def test_loads_with_scaling(self):
+        ds = load_benchmark("pamap", rng=0, sample_scale=0.1)
+        assert ds.train_x.shape == (100, 27)
+        assert ds.test_x.shape == (40, 27)
+
+    def test_full_scale_default(self):
+        ds = load_benchmark("pamap", rng=0)
+        assert ds.train_x.shape[0] == BENCHMARKS["pamap"].train_samples
+
+    def test_reproducible(self):
+        a = load_benchmark("face", rng=1, sample_scale=0.05)
+        b = load_benchmark("face", rng=1, sample_scale=0.05)
+        np.testing.assert_array_equal(a.train_x, b.train_x)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        x = np.arange(40).reshape(20, 2)
+        y = np.arange(20)
+        tx, ty, vx, vy = train_test_split(x, y, test_fraction=0.25, rng=0)
+        assert tx.shape == (15, 2) and vx.shape == (5, 2)
+        assert ty.shape == (15,) and vy.shape == (5,)
+
+    def test_partition_is_exact(self):
+        x = np.arange(30).reshape(30, 1)
+        y = np.arange(30)
+        tx, ty, vx, vy = train_test_split(x, y, rng=1)
+        assert sorted(np.concatenate([ty, vy])) == list(range(30))
+
+    def test_rows_stay_aligned(self):
+        x = np.arange(20).reshape(20, 1)
+        y = np.arange(20) * 10
+        tx, ty, _, _ = train_test_split(x, y, rng=2)
+        np.testing.assert_array_equal(tx[:, 0] * 10, ty)
+
+    def test_length_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            train_test_split(np.zeros((3, 1)), np.zeros(4))
+
+    def test_empty_split_rejected(self):
+        with pytest.raises(ConfigurationError):
+            train_test_split(np.zeros((3, 1)), np.zeros(3), test_fraction=0.0)
+
+
+class TestStratifiedIndices:
+    def test_per_class_counts(self):
+        labels = np.array([0] * 10 + [1] * 10 + [2] * 10)
+        idx = stratified_indices(labels, per_class=4, rng=0)
+        assert len(idx) == 12
+        assert np.bincount(labels[idx]).tolist() == [4, 4, 4]
+
+    def test_insufficient_class(self):
+        labels = np.array([0, 0, 1])
+        with pytest.raises(ConfigurationError):
+            stratified_indices(labels, per_class=2)
+
+    def test_indices_sorted_unique(self):
+        labels = np.repeat(np.arange(4), 8)
+        idx = stratified_indices(labels, per_class=3, rng=1)
+        assert (np.diff(idx) > 0).all()

@@ -1,0 +1,135 @@
+"""Tests for synthetic dataset generation."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import Dataset, SyntheticSpec, make_dataset
+from repro.errors import ConfigurationError
+
+
+def spec(**overrides) -> SyntheticSpec:
+    base = dict(
+        name="t",
+        n_features=20,
+        n_classes=4,
+        levels=8,
+        train_samples=80,
+        test_samples=40,
+        noise_sigma=0.2,
+    )
+    base.update(overrides)
+    return SyntheticSpec(**base)
+
+
+class TestSpecValidation:
+    def test_valid(self):
+        assert spec().accuracy_ceiling == 1.0
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spec(n_classes=1)
+        with pytest.raises(ConfigurationError):
+            spec(levels=1)
+
+    def test_fraction_ranges(self):
+        with pytest.raises(ConfigurationError):
+            spec(informative_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            spec(class_separation=1.5)
+        with pytest.raises(ConfigurationError):
+            spec(label_noise=1.0)
+        with pytest.raises(ConfigurationError):
+            spec(boundary_fraction=-0.1)
+        with pytest.raises(ConfigurationError):
+            spec(noise_sigma=-1.0)
+
+    def test_accuracy_ceiling_label_noise(self):
+        s = spec(label_noise=0.2)
+        assert s.accuracy_ceiling == pytest.approx(0.8 + 0.2 / 4)
+
+    def test_accuracy_ceiling_boundary(self):
+        s = spec(boundary_fraction=0.3)
+        assert s.accuracy_ceiling == pytest.approx(1 - 0.15)
+
+    def test_scaled(self):
+        s = spec().scaled(0.5)
+        assert s.train_samples == 40
+        assert s.test_samples == 20
+
+    def test_scaled_floor(self):
+        s = spec(train_samples=4, test_samples=4).scaled(0.01)
+        assert s.train_samples == 2 and s.test_samples == 2
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ConfigurationError):
+            spec().scaled(0.0)
+
+
+class TestMakeDataset:
+    def test_shapes(self):
+        ds = make_dataset(spec(), rng=0)
+        assert isinstance(ds, Dataset)
+        assert ds.train_x.shape == (80, 20)
+        assert ds.test_x.shape == (40, 20)
+        assert ds.train_y.shape == (80,)
+        assert ds.n_features == 20 and ds.n_classes == 4 and ds.levels == 8
+
+    def test_levels_in_range(self):
+        ds = make_dataset(spec(), rng=1)
+        assert ds.train_x.min() >= 0
+        assert ds.train_x.max() <= 7
+
+    def test_labels_balanced(self):
+        ds = make_dataset(spec(), rng=2)
+        counts = np.bincount(ds.train_y, minlength=4)
+        assert counts.min() == 20 and counts.max() == 20
+
+    def test_reproducible(self):
+        a = make_dataset(spec(), rng=3)
+        b = make_dataset(spec(), rng=3)
+        np.testing.assert_array_equal(a.train_x, b.train_x)
+        np.testing.assert_array_equal(a.test_y, b.test_y)
+
+    def test_classes_are_distinguishable(self):
+        ds = make_dataset(spec(noise_sigma=0.05), rng=4)
+        means = np.stack(
+            [ds.train_x[ds.train_y == c].mean(axis=0) for c in range(4)]
+        )
+        spread = np.abs(means[0] - means[1]).mean()
+        assert spread > 0.5  # prototypes differ by whole level bins
+
+    def test_label_noise_applied(self):
+        clean = make_dataset(spec(train_samples=2000), rng=5)
+        noisy = make_dataset(spec(train_samples=2000, label_noise=0.5), rng=5)
+        disagreement = np.mean(clean.train_y != noisy.train_y)
+        assert 0.35 < disagreement < 0.65
+
+    def test_boundary_fraction_blurs_samples(self):
+        """Boundary samples must sit between prototypes, shrinking the
+        distance of the farthest same-class sample to its class mean."""
+        sharp = make_dataset(spec(noise_sigma=0.01), rng=6)
+        blurred = make_dataset(
+            spec(noise_sigma=0.01, boundary_fraction=0.5), rng=6
+        )
+
+        def max_spread(ds):
+            total = 0.0
+            for c in range(4):
+                rows = ds.train_x[ds.train_y == c].astype(float)
+                total = max(
+                    total,
+                    np.abs(rows - rows.mean(axis=0)).mean(axis=1).max(),
+                )
+            return total
+
+        assert max_spread(blurred) > max_spread(sharp)
+
+    def test_uninformative_features_shared(self):
+        ds_spec = spec(informative_fraction=0.5, noise_sigma=0.01)
+        ds = make_dataset(ds_spec, rng=7)
+        means = np.stack(
+            [ds.train_x[ds.train_y == c].mean(axis=0) for c in range(4)]
+        )
+        informative_spread = means[:, :10].std(axis=0).mean()
+        shared_spread = means[:, 10:].std(axis=0).mean()
+        assert shared_spread < informative_spread / 3

@@ -1,0 +1,143 @@
+"""Tests for the record-based encoder (Eq. 2 / Eq. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.record import RecordEncoder
+from repro.errors import ConfigurationError, DimensionMismatchError
+from repro.hv.ops import sign
+from repro.hv.similarity import hamming
+from repro.memory.item_memory import FeatureMemory, LevelMemory
+
+N, M, D = 24, 6, 1024
+
+
+@pytest.fixture
+def encoder() -> RecordEncoder:
+    return RecordEncoder.random(N, M, D, rng=11)
+
+
+class TestConstruction:
+    def test_random_shapes(self, encoder):
+        assert encoder.n_features == N
+        assert encoder.levels == M
+        assert encoder.dim == D
+        assert encoder.feature_matrix.shape == (N, D)
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            RecordEncoder(
+                FeatureMemory.random(4, 64, rng=0),
+                LevelMemory.random(4, 128, rng=1),
+            )
+
+    def test_reproducible(self):
+        a = RecordEncoder.random(N, M, D, rng=5)
+        b = RecordEncoder.random(N, M, D, rng=5)
+        np.testing.assert_array_equal(a.feature_matrix, b.feature_matrix)
+        np.testing.assert_array_equal(
+            a.level_memory.matrix, b.level_memory.matrix
+        )
+
+
+class TestEncodeNonBinary:
+    def test_matches_naive_eq2(self, encoder, rng):
+        sample = rng.integers(0, M, N)
+        expected = np.zeros(D, dtype=np.int64)
+        for i in range(N):
+            expected += (
+                encoder.level_memory.matrix[sample[i]].astype(np.int64)
+                * encoder.feature_matrix[i].astype(np.int64)
+            )
+        np.testing.assert_array_equal(encoder.encode_nonbinary(sample), expected)
+
+    def test_parity_of_output(self, encoder):
+        # sum of N odd values has the parity of N
+        out = encoder.encode_nonbinary(np.zeros(N, dtype=np.int64))
+        assert (np.abs(out) % 2 == N % 2).all()
+
+    def test_bounded_by_n(self, encoder, rng):
+        out = encoder.encode_nonbinary(rng.integers(0, M, N))
+        assert np.abs(out).max() <= N
+
+    def test_single_value_factorization(self, encoder):
+        """Eq. 5: an all-min sample factors as ValHV_1 * sum(FeaHV)."""
+        out = encoder.encode_nonbinary(np.zeros(N, dtype=np.int64))
+        feature_sum = encoder.feature_matrix.sum(axis=0, dtype=np.int64)
+        v1 = encoder.level_memory.minimum.astype(np.int64)
+        np.testing.assert_array_equal(out, v1 * feature_sum)
+
+    def test_rejects_batch(self, encoder, rng):
+        with pytest.raises(DimensionMismatchError):
+            encoder.encode_nonbinary(rng.integers(0, M, (2, N)))
+
+
+class TestEncodeBinary:
+    def test_is_sign_of_nonbinary(self, encoder, rng):
+        sample = rng.integers(0, M, N)
+        nb = encoder.encode_nonbinary(sample)
+        b = encoder.encode(sample, binary=True)
+        nonzero = nb != 0
+        np.testing.assert_array_equal(b[nonzero], sign(nb)[nonzero])
+
+    def test_binary_output_bipolar(self, encoder, rng):
+        out = encoder.encode(rng.integers(0, M, N), binary=True)
+        assert set(np.unique(out)).issubset({-1, 1})
+
+    def test_similar_inputs_encode_close(self, encoder, rng):
+        a = rng.integers(0, M, N)
+        b = a.copy()
+        b[0] = (b[0] + 1) % M
+        ha = encoder.encode(a, binary=True)
+        hb = encoder.encode(b, binary=True)
+        assert float(hamming(ha, hb)) < 0.2
+
+    def test_different_inputs_encode_far(self, encoder, rng):
+        a = np.zeros(N, dtype=np.int64)
+        b = np.full(N, M - 1, dtype=np.int64)
+        assert float(hamming(
+            encoder.encode(a, binary=True), encoder.encode(b, binary=True)
+        )) > 0.35
+
+
+class TestEncodeBatch:
+    def test_matches_single(self, encoder, rng):
+        samples = rng.integers(0, M, (5, N))
+        batch_nb = encoder.encode_batch(samples, binary=False)
+        for i in range(5):
+            np.testing.assert_array_equal(
+                batch_nb[i], encoder.encode_nonbinary(samples[i])
+            )
+
+    def test_batch_shape_and_dtype(self, encoder, rng):
+        samples = rng.integers(0, M, (3, N))
+        out_b = encoder.encode_batch(samples, binary=True)
+        out_nb = encoder.encode_batch(samples, binary=False)
+        assert out_b.shape == out_nb.shape == (3, D)
+        assert out_b.dtype == np.int8
+
+    def test_rejects_single_sample(self, encoder, rng):
+        with pytest.raises(DimensionMismatchError):
+            encoder.encode_batch(rng.integers(0, M, N))
+
+
+class TestValidation:
+    def test_wrong_feature_count(self, encoder):
+        with pytest.raises(DimensionMismatchError):
+            encoder.encode(np.zeros(N + 1, dtype=np.int64))
+
+    def test_float_samples_rejected(self, encoder):
+        with pytest.raises(ConfigurationError):
+            encoder.encode(np.zeros(N, dtype=np.float64))
+
+    def test_level_out_of_range(self, encoder):
+        sample = np.zeros(N, dtype=np.int64)
+        sample[0] = M
+        with pytest.raises(ConfigurationError):
+            encoder.encode(sample)
+
+    def test_negative_level(self, encoder):
+        sample = np.zeros(N, dtype=np.int64)
+        sample[0] = -1
+        with pytest.raises(ConfigurationError):
+            encoder.encode(sample)

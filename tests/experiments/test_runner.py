@@ -1,0 +1,42 @@
+"""Tests for the experiment CLI runner."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main, run_experiments
+
+
+class TestRunExperiments:
+    def test_analytic_subset(self):
+        reports = run_experiments(["fig7", "fig9"])
+        assert set(reports) == {"fig7", "fig9"}
+        assert "Fig. 7a" in reports["fig7"]
+        assert "Fig. 9" in reports["fig9"]
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            run_experiments(["fig99"])
+
+    def test_registry_covers_all_paper_results(self):
+        assert set(EXPERIMENTS) == {
+            "table1",
+            "fig3",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "ablations",
+            "sweeps",
+        }
+
+
+class TestMain:
+    def test_main_analytic_only(self, capsys):
+        assert main(["--only", "fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "=== fig7 ===" in out
+        assert "experiment scale" in out
+
+    def test_main_seed_flag(self, capsys):
+        assert main(["--only", "fig9", "--seed", "7"]) == 0
+        assert "fig9" in capsys.readouterr().out

@@ -1,0 +1,199 @@
+"""Tests for the FPGA datapath cycle/cost model (Fig. 9 substrate)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.adder_tree import (
+    accumulator_width_bits,
+    adder_count,
+    tree_depth,
+    tree_latency_cycles,
+)
+from repro.hardware.datapath import DatapathConfig
+from repro.hardware.encoder_cost import (
+    encoding_cycles,
+    encoding_seconds,
+    relative_encoding_time,
+    relative_time_series,
+)
+from repro.hardware.memory_model import (
+    BRAM36_BITS,
+    MemoryBank,
+    key_to_model_ratio,
+    model_footprint,
+)
+from repro.hardware.pipeline import encoder_stages, schedule_encoder
+from repro.hardware.report import estimate_resources, render_resource_table
+from repro.hdlock.keygen import generate_key
+
+
+class TestAdderTree:
+    def test_depth(self):
+        assert tree_depth(1) == 0
+        assert tree_depth(2) == 1
+        assert tree_depth(784) == 10
+        assert tree_depth(1024) == 10
+
+    def test_adder_count(self):
+        assert adder_count(8) == 7
+        assert adder_count(1) == 0
+
+    def test_accumulator_width(self):
+        # 2-bit inputs, depth 10 -> 12 bits at the root
+        assert accumulator_width_bits(784) == 12
+
+    def test_latency_equals_depth(self):
+        assert tree_latency_cycles(784) == tree_depth(784)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            tree_depth(0)
+        with pytest.raises(ConfigurationError):
+            accumulator_width_bits(4, input_bits=0)
+
+
+class TestDatapathConfig:
+    def test_default_beats_at_paper_dim(self):
+        cfg = DatapathConfig()
+        assert cfg.accumulate_beats(10_000) == 19
+        assert cfg.bind_beats(10_000) == 4
+
+    def test_cycle_seconds(self):
+        cfg = DatapathConfig(clock_mhz=200.0)
+        assert cfg.cycle_seconds == pytest.approx(5e-9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DatapathConfig(accumulate_lanes=0)
+        with pytest.raises(ConfigurationError):
+            DatapathConfig(memory_ports=0)
+        with pytest.raises(ConfigurationError):
+            DatapathConfig(pipeline_fill=-1)
+        with pytest.raises(ConfigurationError):
+            DatapathConfig(clock_mhz=0)
+        with pytest.raises(ConfigurationError):
+            DatapathConfig().accumulate_beats(0)
+
+
+class TestSchedule:
+    def test_baseline_has_no_bind_stage(self):
+        stages = encoder_stages(10_000, 0, DatapathConfig())
+        assert [s.name for s in stages] == ["fetch", "accumulate"]
+
+    def test_single_layer_has_no_bind_stage(self):
+        stages = encoder_stages(10_000, 1, DatapathConfig())
+        assert [s.name for s in stages] == ["fetch", "accumulate"]
+
+    def test_two_layers_add_one_bind_pass(self):
+        stages = encoder_stages(10_000, 2, DatapathConfig())
+        bind = next(s for s in stages if s.name == "bind")
+        assert bind.beats == DatapathConfig().bind_beats(10_000)
+
+    def test_five_layers_add_four_bind_passes(self):
+        stages = encoder_stages(10_000, 5, DatapathConfig())
+        bind = next(s for s in stages if s.name == "bind")
+        assert bind.beats == 4 * DatapathConfig().bind_beats(10_000)
+
+    def test_cycles_per_sample_formula(self):
+        schedule = schedule_encoder(784, 10_000, 0)
+        cfg = DatapathConfig()
+        expected = (
+            cfg.pipeline_fill + tree_latency_cycles(784) + 784 * 19
+        )
+        assert schedule.cycles_per_sample == expected
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            schedule_encoder(0, 10_000, 1)
+        with pytest.raises(ConfigurationError):
+            encoder_stages(10_000, -1, DatapathConfig())
+
+
+class TestEncoderCost:
+    def test_paper_headline_l2_is_21_percent(self):
+        assert relative_encoding_time(2, 784, 10_000) == pytest.approx(
+            1.21, abs=0.005
+        )
+
+    def test_l1_is_free(self):
+        assert relative_encoding_time(1, 784, 10_000) == pytest.approx(1.0)
+
+    def test_linear_growth_from_l2(self):
+        times = [relative_encoding_time(l, 784, 10_000) for l in range(1, 6)]
+        increments = [times[i + 1] - times[i] for i in range(len(times) - 1)]
+        # equal increments per extra layer (linear, paper Fig. 9)
+        assert max(increments) - min(increments) < 1e-9
+
+    def test_dataset_independence(self):
+        curves = relative_time_series(
+            range(1, 6), {"a": 784, "b": 561, "c": 27}, dim=10_000
+        )
+        at_l2 = [dict(curve)[2] for curve in curves.values()]
+        assert max(at_l2) - min(at_l2) < 0.05
+
+    def test_cycles_monotone_in_layers(self):
+        cycles = [encoding_cycles(784, 10_000, l) for l in range(6)]
+        assert cycles[0] == cycles[1]  # L=1 free
+        assert all(cycles[i + 1] > cycles[i] for i in range(1, 5))
+
+    def test_seconds_conversion(self):
+        cfg = DatapathConfig(clock_mhz=100.0)
+        cycles = encoding_cycles(100, 1000, 0, cfg)
+        assert encoding_seconds(100, 1000, 0, cfg) == pytest.approx(
+            cycles * 1e-8
+        )
+
+
+class TestMemoryModel:
+    def test_bank_geometry(self):
+        bank = MemoryBank("test", rows=784, dim=10_000, width_bits=2560)
+        assert bank.words_per_row == 4
+        assert bank.total_bits == 7_840_000
+        assert bank.bram36_blocks == -(-7_840_000 // BRAM36_BITS)
+
+    def test_rotated_read_costs_same_as_plain(self):
+        bank = MemoryBank("test", rows=4, dim=128, width_bits=64)
+        assert bank.read_cycles(0) == bank.read_cycles(100) == 1
+
+    def test_rotation_out_of_range(self):
+        bank = MemoryBank("test", rows=4, dim=128, width_bits=64)
+        with pytest.raises(ConfigurationError):
+            bank.read_cycles(128)
+
+    def test_footprint(self):
+        fp = model_footprint(784, 16, 10_000, 10)
+        assert fp.feature_bits == 7_840_000
+        assert fp.value_bits == 160_000
+        assert fp.class_bits == 100_000
+        assert fp.total_bytes == -(-fp.total_bits // 8)
+
+    def test_key_is_tiny_versus_model(self):
+        """The threat-model premise: key fits secure memory, model not."""
+        key = generate_key(784, 2, 784, 10_000, rng=0)
+        fp = model_footprint(784, 16, 10_000, 10)
+        ratio = key_to_model_ratio(key, fp)
+        assert ratio < 0.01  # kilobits vs megabits
+
+    def test_invalid_footprint(self):
+        with pytest.raises(ConfigurationError):
+            model_footprint(0, 16, 10_000, 10)
+
+
+class TestResourceReport:
+    def test_bind_unit_only_from_l2(self):
+        r0 = estimate_resources(784, 16, 10_000, 0)
+        r1 = estimate_resources(784, 16, 10_000, 1)
+        r2 = estimate_resources(784, 16, 10_000, 2)
+        assert r0.bind_luts == 0
+        assert r1.bind_luts == 0
+        assert r2.bind_luts > 0
+
+    def test_lock_logic_is_small_fraction(self):
+        r2 = estimate_resources(784, 16, 10_000, 2)
+        assert r2.bind_luts < r2.total_luts / 2
+
+    def test_render_table(self):
+        reports = [estimate_resources(784, 16, 10_000, l) for l in range(3)]
+        text = render_resource_table(reports)
+        assert "BRAM36" in text
+        assert str(reports[2].total_luts) in text

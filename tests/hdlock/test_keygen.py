@@ -1,0 +1,85 @@
+"""Tests for HDLock key generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hdlock.keygen import generate_key, identity_like_key
+
+
+class TestGenerateKey:
+    def test_shape(self):
+        key = generate_key(10, 3, 16, 256, rng=0)
+        assert key.n_features == 10
+        assert key.layers == 3
+        assert key.pool_size == 16
+        assert key.dim == 256
+
+    def test_ranges(self):
+        key = generate_key(50, 2, 8, 128, rng=1)
+        idx, rot = key.to_arrays()
+        assert idx.min() >= 0 and idx.max() < 8
+        assert rot.min() >= 0 and rot.max() < 128
+
+    def test_no_repeated_pairs_within_subkey(self):
+        # tiny pair space forces the distinctness logic to matter
+        key = generate_key(4, 3, 2, 2, rng=2)
+        for sk in key.subkeys:
+            assert len(set(sk.pairs())) == sk.layers
+
+    def test_subkeys_distinct_across_features(self):
+        key = generate_key(4, 1, 2, 2, rng=3)  # only 4 possible subkeys
+        fingerprints = {(sk.indices, sk.rotations) for sk in key.subkeys}
+        assert len(fingerprints) == 4
+
+    def test_reproducible(self):
+        assert generate_key(8, 2, 8, 64, rng=7) == generate_key(8, 2, 8, 64, rng=7)
+
+    def test_different_seeds_differ(self):
+        assert generate_key(8, 2, 8, 64, rng=1) != generate_key(8, 2, 8, 64, rng=2)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            generate_key(0, 1, 4, 16)
+        with pytest.raises(ConfigurationError):
+            generate_key(1, 0, 4, 16)
+        with pytest.raises(ConfigurationError):
+            generate_key(1, 1, 0, 16)
+
+    def test_layers_exceeding_pair_space(self):
+        with pytest.raises(ConfigurationError):
+            generate_key(1, 5, 2, 2)
+
+    def test_more_features_than_distinct_subkeys(self):
+        # C(2*2, 3) = 4 possible subkeys < 20 features: must refuse
+        # instead of looping forever in rejection sampling.
+        with pytest.raises(ConfigurationError):
+            generate_key(20, 3, 2, 2)
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_always_valid_keys(self, n_features, layers):
+        key = generate_key(n_features, layers, 8, 64, rng=n_features)
+        idx, rot = key.to_arrays()
+        assert idx.shape == (n_features, layers)
+        assert rot.shape == (n_features, layers)
+
+
+class TestIdentityLikeKey:
+    def test_single_layer_pool_equals_features(self):
+        key = identity_like_key(12, 128, rng=0)
+        assert key.layers == 1
+        assert key.pool_size == 12
+        idx, _ = key.to_arrays()
+        # each base used exactly once
+        assert sorted(idx[:, 0]) == list(range(12))
+
+    def test_rotations_randomized(self):
+        key = identity_like_key(32, 4096, rng=1)
+        _, rot = key.to_arrays()
+        assert len(np.unique(rot)) > 16

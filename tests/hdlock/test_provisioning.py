@@ -1,0 +1,107 @@
+"""Tests for deployment provisioning (bundle save/load, key separation)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, KeyFormatError
+from repro.hdlock.lock import create_locked_encoder
+from repro.hdlock.provisioning import (
+    KEY_FILE,
+    MANIFEST_FILE,
+    POOL_FILE,
+    BundleManifest,
+    load_key,
+    load_public_bundle,
+    restore_encoder,
+    save_key,
+    save_public_bundle,
+)
+
+N, M, D = 16, 5, 512
+
+
+@pytest.fixture
+def system():
+    return create_locked_encoder(N, M, D, layers=2, rng=0)
+
+
+class TestSaveLoadRoundtrip:
+    def test_bundle_roundtrip(self, system, tmp_path):
+        manifest = save_public_bundle(tmp_path, system.encoder)
+        pool, values, loaded_manifest = load_public_bundle(tmp_path)
+        np.testing.assert_array_equal(pool, system.base_pool)
+        np.testing.assert_array_equal(
+            values.matrix, system.encoder.level_memory.matrix
+        )
+        assert loaded_manifest == manifest
+
+    def test_key_roundtrip(self, system, tmp_path):
+        path = save_key(tmp_path, system.key)
+        assert path.name == KEY_FILE
+        assert load_key(path) == system.key
+
+    def test_restore_encoder_is_equivalent(self, system, tmp_path):
+        save_public_bundle(tmp_path, system.encoder)
+        restored = restore_encoder(tmp_path, system.key, rng=1)
+        sample = np.random.default_rng(2).integers(0, M, N)
+        np.testing.assert_array_equal(
+            restored.encode_nonbinary(sample),
+            system.encoder.encode_nonbinary(sample),
+        )
+
+    def test_key_not_in_public_bundle(self, system, tmp_path):
+        """The public bundle must never contain key material."""
+        save_public_bundle(tmp_path, system.encoder)
+        names = {p.name for p in tmp_path.iterdir()}
+        assert KEY_FILE not in names
+
+    def test_bundle_is_bit_packed(self, system, tmp_path):
+        save_public_bundle(tmp_path, system.encoder)
+        stored = np.load(tmp_path / POOL_FILE)
+        assert stored.dtype == np.uint8
+        assert stored.nbytes == N * D // 8
+
+
+class TestIntegrity:
+    def test_tampered_pool_detected(self, system, tmp_path):
+        save_public_bundle(tmp_path, system.encoder)
+        packed = np.load(tmp_path / POOL_FILE)
+        packed[0, 0] ^= 0xFF
+        np.save(tmp_path / POOL_FILE, packed)
+        with pytest.raises(ConfigurationError, match="integrity"):
+            load_public_bundle(tmp_path)
+
+    def test_tampered_values_detected(self, system, tmp_path):
+        save_public_bundle(tmp_path, system.encoder)
+        packed = np.load(tmp_path / "value_memory.npy")
+        packed[1, 3] ^= 0x01
+        np.save(tmp_path / "value_memory.npy", packed)
+        with pytest.raises(ConfigurationError, match="integrity"):
+            load_public_bundle(tmp_path)
+
+    def test_malformed_manifest(self, system, tmp_path):
+        save_public_bundle(tmp_path, system.encoder)
+        (tmp_path / MANIFEST_FILE).write_text("{\"dim\": 512}")
+        with pytest.raises(ConfigurationError):
+            load_public_bundle(tmp_path)
+
+    def test_manifest_json_roundtrip(self, system, tmp_path):
+        manifest = save_public_bundle(tmp_path, system.encoder)
+        parsed = BundleManifest.from_json(manifest.to_json())
+        assert parsed == manifest
+
+    def test_wrong_key_shape_rejected(self, system, tmp_path):
+        save_public_bundle(tmp_path, system.encoder)
+        from repro.hdlock.keygen import generate_key
+
+        wrong_dim_key = generate_key(N, 2, N, D * 2, rng=3)
+        with pytest.raises(KeyFormatError):
+            restore_encoder(tmp_path, wrong_dim_key)
+
+    def test_manifest_is_readable_json(self, system, tmp_path):
+        save_public_bundle(tmp_path, system.encoder)
+        payload = json.loads((tmp_path / MANIFEST_FILE).read_text())
+        assert payload["dim"] == D
+        assert payload["pool_size"] == N

@@ -1,0 +1,95 @@
+"""Tests for bundling-capacity analysis."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hv.capacity import (
+    capacity,
+    detection_margin,
+    empirical_capacity_curve,
+    expected_member_distance,
+    majority_advantage,
+)
+
+
+class TestMajorityAdvantage:
+    def test_exact_small_values(self):
+        # hand-computed: k=1 trivially matches; k=2 and k=3 give 0.75
+        assert majority_advantage(1) == 0.5
+        assert majority_advantage(2) == pytest.approx(0.25)
+        assert majority_advantage(3) == pytest.approx(0.25)
+
+    def test_monotone_decreasing(self):
+        values = [majority_advantage(k) for k in range(2, 100)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_asymptotic_rate(self):
+        for k in (1001, 10_001):
+            assert majority_advantage(k) == pytest.approx(
+                1 / math.sqrt(2 * math.pi * k), rel=0.05
+            )
+
+    def test_large_k_fast_and_finite(self):
+        assert 0 < majority_advantage(1_000_001) < 1e-3
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            majority_advantage(0)
+
+
+class TestExpectedMemberDistance:
+    def test_complements_advantage(self):
+        assert expected_member_distance(5) == pytest.approx(
+            0.5 - majority_advantage(5)
+        )
+
+    def test_approaches_half(self):
+        assert expected_member_distance(100_000) == pytest.approx(0.5, abs=0.01)
+
+
+class TestCapacity:
+    def test_scales_linearly_with_dim(self):
+        c1 = capacity(2048)
+        c2 = capacity(8192)
+        assert c2 / c1 == pytest.approx(4.0, rel=0.15)
+
+    def test_matches_closed_form(self):
+        dim, sigmas = 10_000, 4.0
+        expected = 2 * dim / (math.pi * sigmas**2)
+        assert capacity(dim, sigmas) == pytest.approx(expected, rel=0.1)
+
+    def test_margin_positive_at_capacity(self):
+        dim = 4096
+        k = capacity(dim)
+        assert detection_margin(k, dim) > 0
+
+    def test_stricter_sigmas_reduce_capacity(self):
+        assert capacity(4096, sigmas=6.0) < capacity(4096, sigmas=3.0)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ConfigurationError):
+            capacity(0)
+
+
+class TestEmpiricalCurve:
+    def test_matches_prediction(self):
+        points = empirical_capacity_curve([3, 9, 33, 101], dim=8192, rng=0)
+        for point in points:
+            assert point.member_distance == pytest.approx(
+                point.predicted_member_distance, abs=0.03
+            )
+            assert point.non_member_distance == pytest.approx(0.5, abs=0.05)
+
+    def test_members_closer_than_non_members_within_capacity(self):
+        dim = 4096
+        k = capacity(dim) // 2
+        (point,) = empirical_capacity_curve([k], dim=dim, rng=1)
+        assert point.member_distance < point.non_member_distance - 0.01
+
+    def test_encoder_regime_has_signal(self):
+        """N=784 bound pairs bundled at D>=2048: members detectable —
+        this is why the attack's crafted queries carry signal."""
+        (point,) = empirical_capacity_curve([785], dim=2048, rng=2)
+        assert point.member_distance < 0.49

@@ -1,0 +1,96 @@
+"""Tests for bit-packed hypervector storage and popcount Hamming."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DimensionMismatchError
+from repro.hv.packing import PackedPool, pack, packed_hamming, unpack
+from repro.hv.random import random_hv, random_pool
+from repro.hv.similarity import hamming
+
+
+class TestPackUnpackRoundtrip:
+    @pytest.mark.parametrize("dim", [8, 64, 100, 1000, 1027])
+    def test_roundtrip(self, dim):
+        hv = random_hv(dim, rng=dim)
+        np.testing.assert_array_equal(unpack(pack(hv), dim), hv)
+
+    def test_matrix_roundtrip(self):
+        pool = random_pool(9, 333, rng=1)
+        np.testing.assert_array_equal(unpack(pack(pool), 333), pool)
+
+    def test_packed_size(self):
+        hv = random_hv(1000, rng=0)
+        assert pack(hv).nbytes == 125
+
+    def test_pack_is_8x_smaller(self):
+        pool = random_pool(16, 1024, rng=0)
+        assert pack(pool).nbytes * 8 == pool.nbytes
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_any_dim(self, dim):
+        hv = random_hv(dim, rng=dim)
+        np.testing.assert_array_equal(unpack(pack(hv), dim), hv)
+
+
+class TestPackedHamming:
+    @pytest.mark.parametrize("dim", [64, 100, 512, 1001])
+    def test_matches_unpacked(self, dim):
+        a = random_hv(dim, rng=1)
+        b = random_hv(dim, rng=2)
+        assert packed_hamming(pack(a), pack(b), dim) == pytest.approx(
+            float(hamming(a, b))
+        )
+
+    def test_matrix_vs_vector(self):
+        pool = random_pool(6, 300, rng=3)
+        target = random_hv(300, rng=4)
+        packed = packed_hamming(pack(pool), pack(target), 300)
+        np.testing.assert_allclose(packed, hamming(pool, target))
+
+    def test_identical_zero(self):
+        a = random_hv(77, rng=5)
+        assert packed_hamming(pack(a), pack(a), 77) == 0.0
+
+    def test_width_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            packed_hamming(np.zeros(4, dtype=np.uint8), np.zeros(5, dtype=np.uint8), 32)
+
+    def test_padding_bits_do_not_count(self):
+        # dim=9 leaves 7 pad bits per row; they must never add distance.
+        a = np.ones(9, dtype=np.int8)
+        b = np.ones(9, dtype=np.int8)
+        b[0] = -1
+        assert packed_hamming(pack(a), pack(b), 9) == pytest.approx(1 / 9)
+
+
+class TestPackedPool:
+    def test_len_and_dim(self):
+        pool = PackedPool(random_pool(12, 200, rng=0))
+        assert len(pool) == 12
+        assert pool.dim == 200
+
+    def test_unpack_row(self):
+        raw = random_pool(5, 128, rng=1)
+        pool = PackedPool(raw)
+        np.testing.assert_array_equal(pool.unpack_row(3), raw[3])
+
+    def test_unpack_all(self):
+        raw = random_pool(5, 128, rng=2)
+        np.testing.assert_array_equal(PackedPool(raw).unpack_all(), raw)
+
+    def test_hamming_to(self):
+        raw = random_pool(5, 128, rng=3)
+        pool = PackedPool(raw)
+        np.testing.assert_allclose(pool.hamming_to(raw[2]), hamming(raw, raw[2]))
+
+    def test_nbytes(self):
+        pool = PackedPool(random_pool(4, 800, rng=4))
+        assert pool.nbytes == 4 * 100
+
+    def test_requires_matrix(self):
+        with pytest.raises(ValueError):
+            PackedPool(random_hv(64, rng=5))

@@ -1,0 +1,122 @@
+"""Contract tests for the top-level public API surface."""
+
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_core_workflow_symbols_present(self):
+        # the names the README quickstart uses must stay exported
+        for name in (
+            "RecordEncoder",
+            "LockedEncoder",
+            "HDClassifier",
+            "train_model",
+            "load_benchmark",
+            "expose_model",
+            "run_reasoning_attack",
+            "verify_mapping",
+            "lock_model",
+            "generate_key",
+            "relative_encoding_time",
+        ):
+            assert name in repro.__all__
+
+    def test_subpackage_alls_resolve(self):
+        import repro.attack
+        import repro.data
+        import repro.encoding
+        import repro.hardware
+        import repro.hdlock
+        import repro.hv
+        import repro.memory
+        import repro.model
+        import repro.utils
+
+        for module in (
+            repro.attack,
+            repro.data,
+            repro.encoding,
+            repro.hardware,
+            repro.hdlock,
+            repro.hv,
+            repro.memory,
+            repro.model,
+            repro.utils,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_errors_inherit_base(self):
+        from repro import errors
+
+        subclasses = [
+            errors.DimensionMismatchError,
+            errors.NotBipolarError,
+            errors.SecureMemoryError,
+            errors.KeyFormatError,
+            errors.AttackError,
+            errors.ConfigurationError,
+        ]
+        for exc in subclasses:
+            assert issubclass(exc, errors.ReproError)
+
+
+class TestModuleEntryPoints:
+    @pytest.mark.parametrize(
+        "module", ["repro", "repro.experiments.runner"]
+    )
+    def test_runner_entry(self, module):
+        proc = subprocess.run(
+            [sys.executable, "-m", module, "--only", "fig7"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "Fig. 7a" in proc.stdout
+        assert "RuntimeWarning" not in proc.stderr
+
+    def test_runner_rejects_unknown(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--only", "nope"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode != 0
+
+    def test_docstring_quickstart_runs(self):
+        """The package docstring promises a workflow; keep it honest
+        (smoke version with tiny sizes)."""
+        from repro import (
+            RecordEncoder,
+            expose_model,
+            load_benchmark,
+            lock_encoder,
+            run_reasoning_attack,
+            train_model,
+        )
+
+        ds = load_benchmark("pamap", rng=0, sample_scale=0.05)
+        encoder = RecordEncoder.random(ds.n_features, ds.levels, 512, rng=0)
+        model = train_model(
+            encoder, ds.train_x, ds.train_y, ds.n_classes, retrain_epochs=1
+        ).model
+        assert 0.0 <= model.score(ds.test_x, ds.test_y) <= 1.0
+        surface, _ = expose_model(encoder, rng=1)
+        result = run_reasoning_attack(surface)
+        assert result.total_queries == ds.n_features + 1
+        locked = lock_encoder(encoder, layers=2, rng=2)
+        assert locked.layers == 2

@@ -1,0 +1,71 @@
+"""Tests for indexed item memories."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DimensionMismatchError
+from repro.hv.similarity import hamming
+from repro.memory.item_memory import FeatureMemory, LevelMemory
+
+
+class TestFeatureMemory:
+    def test_random_shape(self):
+        mem = FeatureMemory.random(10, 256, rng=0)
+        assert mem.n_features == 10
+        assert mem.dim == 256
+
+    def test_vector_indexing(self):
+        mem = FeatureMemory.random(5, 128, rng=1)
+        np.testing.assert_array_equal(mem.vector(3), mem.matrix[3])
+
+    def test_rejects_vector_input(self):
+        with pytest.raises(ConfigurationError):
+            FeatureMemory(np.ones(16, dtype=np.int8))
+
+    def test_remapped(self):
+        mem = FeatureMemory.random(4, 64, rng=2)
+        perm = np.array([2, 0, 3, 1])
+        remapped = mem.remapped(perm)
+        for i, j in enumerate(perm):
+            np.testing.assert_array_equal(remapped.vector(i), mem.vector(j))
+
+    def test_remapped_wrong_length(self):
+        mem = FeatureMemory.random(4, 64, rng=3)
+        with pytest.raises(DimensionMismatchError):
+            mem.remapped(np.array([0, 1]))
+
+    def test_remapped_is_copy(self):
+        mem = FeatureMemory.random(3, 64, rng=4)
+        remapped = mem.remapped(np.array([0, 1, 2]))
+        remapped.matrix[0, 0] *= -1
+        assert remapped.matrix[0, 0] != mem.matrix[0, 0]
+
+
+class TestLevelMemory:
+    def test_random_shape(self):
+        mem = LevelMemory.random(8, 512, rng=0)
+        assert mem.levels == 8
+        assert mem.dim == 512
+
+    def test_minimum_maximum(self):
+        mem = LevelMemory.random(6, 512, rng=1)
+        np.testing.assert_array_equal(mem.minimum, mem.matrix[0])
+        np.testing.assert_array_equal(mem.maximum, mem.matrix[-1])
+
+    def test_extremes_far_apart(self):
+        mem = LevelMemory.random(8, 2048, rng=2)
+        assert float(hamming(mem.minimum, mem.maximum)) == pytest.approx(0.5, abs=0.02)
+
+    def test_needs_two_levels(self):
+        with pytest.raises(ConfigurationError):
+            LevelMemory(np.ones((1, 64), dtype=np.int8))
+
+    def test_vector(self):
+        mem = LevelMemory.random(5, 128, rng=3)
+        np.testing.assert_array_equal(mem.vector(2), mem.matrix[2])
+
+    def test_remapped_roundtrip(self):
+        mem = LevelMemory.random(4, 128, rng=4)
+        perm = np.array([3, 2, 1, 0])
+        double = mem.remapped(perm).remapped(perm)
+        np.testing.assert_array_equal(double.matrix, mem.matrix)

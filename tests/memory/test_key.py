@@ -1,0 +1,110 @@
+"""Tests for HDLock key containers and serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KeyFormatError
+from repro.memory.key import LockKey, SubKey
+
+
+class TestSubKey:
+    def test_pairs(self):
+        sk = SubKey((1, 2), (10, 20))
+        assert list(sk.pairs()) == [(1, 10), (2, 20)]
+        assert sk.layers == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(KeyFormatError):
+            SubKey((1, 2), (10,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(KeyFormatError):
+            SubKey((), ())
+
+
+class TestLockKey:
+    def make_key(self) -> LockKey:
+        return LockKey(
+            [SubKey((0, 3), (5, 9)), SubKey((2, 1), (0, 7))],
+            pool_size=4,
+            dim=16,
+        )
+
+    def test_properties(self):
+        key = self.make_key()
+        assert key.n_features == 2
+        assert key.layers == 2
+        assert key.pool_size == 4
+        assert key.dim == 16
+
+    def test_empty_rejected(self):
+        with pytest.raises(KeyFormatError):
+            LockKey([], pool_size=4, dim=16)
+
+    def test_mixed_layer_counts_rejected(self):
+        with pytest.raises(KeyFormatError):
+            LockKey(
+                [SubKey((0,), (1,)), SubKey((0, 1), (1, 2))],
+                pool_size=4,
+                dim=16,
+            )
+
+    def test_index_out_of_pool(self):
+        with pytest.raises(KeyFormatError):
+            LockKey([SubKey((4,), (0,))], pool_size=4, dim=16)
+
+    def test_rotation_out_of_dim(self):
+        with pytest.raises(KeyFormatError):
+            LockKey([SubKey((0,), (16,))], pool_size=4, dim=16)
+
+    def test_to_from_arrays_roundtrip(self):
+        key = self.make_key()
+        idx, rot = key.to_arrays()
+        rebuilt = LockKey.from_arrays(idx, rot, key.pool_size, key.dim)
+        assert rebuilt == key
+
+    def test_from_arrays_shape_check(self):
+        with pytest.raises(KeyFormatError):
+            LockKey.from_arrays(
+                np.zeros((2, 2)), np.zeros((2, 3)), pool_size=4, dim=16
+            )
+
+    def test_json_roundtrip(self):
+        key = self.make_key()
+        assert LockKey.from_json(key.to_json()) == key
+
+    def test_json_malformed(self):
+        with pytest.raises(KeyFormatError):
+            LockKey.from_json("{not json")
+
+    def test_json_missing_field(self):
+        with pytest.raises(KeyFormatError):
+            LockKey.from_json('{"pool_size": 4}')
+
+    def test_storage_bits(self):
+        # P=4 -> 2 bits, D=16 -> 4 bits, N=2, L=2 -> 2*2*(2+4)=24
+        assert self.make_key().storage_bits() == 24
+
+    def test_equality(self):
+        assert self.make_key() == self.make_key()
+        other = LockKey([SubKey((0,), (0,))], pool_size=4, dim=16)
+        assert self.make_key() != other
+        assert self.make_key() != "not a key"
+
+    def test_repr_mentions_shape(self):
+        text = repr(self.make_key())
+        assert "n_features=2" in text and "layers=2" in text
+
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_random_keys_roundtrip_json(self, n_features, layers):
+        rng = np.random.default_rng(n_features * 10 + layers)
+        idx = rng.integers(0, 8, size=(n_features, layers))
+        rot = rng.integers(0, 32, size=(n_features, layers))
+        key = LockKey.from_arrays(idx, rot, pool_size=8, dim=32)
+        assert LockKey.from_json(key.to_json()) == key

@@ -1,0 +1,134 @@
+"""Tests for the HDC classifier."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.record import RecordEncoder
+from repro.errors import ConfigurationError, DimensionMismatchError
+from repro.model.classifier import HDClassifier
+
+N, M, D, C = 30, 6, 1024, 3
+
+
+@pytest.fixture
+def encoder() -> RecordEncoder:
+    return RecordEncoder.random(N, M, D, rng=0)
+
+
+def make_separable(rng: np.random.Generator, per_class: int = 20):
+    """Three well-separated level prototypes with small jitter."""
+    prototypes = np.array(
+        [np.full(N, 0), np.full(N, M // 2), np.full(N, M - 1)]
+    )
+    samples, labels = [], []
+    for cls in range(C):
+        jitter = rng.integers(-1, 2, size=(per_class, N))
+        samples.append(np.clip(prototypes[cls] + jitter, 0, M - 1))
+        labels.append(np.full(per_class, cls))
+    return np.vstack(samples), np.concatenate(labels)
+
+
+class TestFitPredict:
+    @pytest.mark.parametrize("binary", [True, False])
+    def test_learns_separable_data(self, encoder, rng, binary):
+        x, y = make_separable(rng)
+        model = HDClassifier(encoder, C, binary=binary, rng=1).fit(x, y)
+        assert model.score(x, y) == 1.0
+
+    @pytest.mark.parametrize("binary", [True, False])
+    def test_generalizes(self, encoder, rng, binary):
+        x, y = make_separable(rng)
+        test_x, test_y = make_separable(rng)
+        model = HDClassifier(encoder, C, binary=binary, rng=2).fit(x, y)
+        assert model.score(test_x, test_y) >= 0.9
+
+    def test_predict_shape(self, encoder, rng):
+        x, y = make_separable(rng)
+        model = HDClassifier(encoder, C, rng=3).fit(x, y)
+        assert model.predict(x[:7]).shape == (7,)
+
+    def test_class_matrix_shapes(self, encoder, rng):
+        x, y = make_separable(rng)
+        binary = HDClassifier(encoder, C, binary=True, rng=4).fit(x, y)
+        nonbinary = HDClassifier(encoder, C, binary=False, rng=5).fit(x, y)
+        assert binary.class_matrix.shape == (C, D)
+        assert set(np.unique(binary.class_matrix)).issubset({-1, 1})
+        assert nonbinary.class_matrix.dtype == np.float64
+
+    def test_untrained_raises(self, encoder):
+        model = HDClassifier(encoder, C)
+        with pytest.raises(ConfigurationError):
+            _ = model.class_matrix
+        with pytest.raises(ConfigurationError):
+            model.predict(np.zeros((1, N), dtype=np.int64))
+
+
+class TestRetrain:
+    def test_improves_or_holds_train_accuracy(self, encoder, rng):
+        x, y = make_separable(rng)
+        # corrupt a few labels so one-shot is imperfect
+        y_noisy = y.copy()
+        y_noisy[:4] = (y_noisy[:4] + 1) % C
+        model = HDClassifier(encoder, C, binary=True, rng=6).fit(x, y_noisy)
+        history = model.retrain(x, y_noisy, epochs=3)
+        assert len(history) == 3
+
+    def test_requires_fit_first(self, encoder, rng):
+        x, y = make_separable(rng)
+        model = HDClassifier(encoder, C)
+        with pytest.raises(ConfigurationError):
+            model.retrain(x, y)
+
+    def test_zero_epochs_noop(self, encoder, rng):
+        x, y = make_separable(rng)
+        model = HDClassifier(encoder, C, rng=7).fit(x, y)
+        before = model.class_matrix.copy()
+        assert model.retrain(x, y, epochs=0) == []
+        np.testing.assert_array_equal(model.class_matrix, before)
+
+    def test_negative_epochs(self, encoder, rng):
+        x, y = make_separable(rng)
+        model = HDClassifier(encoder, C, rng=8).fit(x, y)
+        with pytest.raises(ConfigurationError):
+            model.retrain(x, y, epochs=-1)
+
+    def test_encoded_reuse_matches(self, encoder, rng):
+        x, y = make_separable(rng)
+        m1 = HDClassifier(encoder, C, binary=False, rng=9).fit(x, y)
+        encoded = m1.encode_training(x)
+        m2 = HDClassifier(encoder, C, binary=False, rng=9).fit(
+            x, y, encoded=encoded
+        )
+        np.testing.assert_array_equal(m1.class_matrix, m2.class_matrix)
+
+
+class TestSimilarityProfile:
+    def test_highest_for_true_class(self, encoder, rng):
+        x, y = make_separable(rng)
+        model = HDClassifier(encoder, C, binary=False, rng=10).fit(x, y)
+        profile = model.similarity_profile(x[0])
+        assert profile.shape == (C,)
+        assert int(np.argmax(profile)) == y[0]
+
+    def test_binary_profile_in_unit_range(self, encoder, rng):
+        x, y = make_separable(rng)
+        model = HDClassifier(encoder, C, binary=True, rng=11).fit(x, y)
+        profile = model.similarity_profile(x[0])
+        assert (profile >= 0).all() and (profile <= 1).all()
+
+
+class TestValidation:
+    def test_too_few_classes(self, encoder):
+        with pytest.raises(ConfigurationError):
+            HDClassifier(encoder, 1)
+
+    def test_label_shape_mismatch(self, encoder, rng):
+        x, _ = make_separable(rng)
+        model = HDClassifier(encoder, C)
+        with pytest.raises(DimensionMismatchError):
+            model.fit(x, np.zeros(3, dtype=np.int64))
+
+    def test_label_out_of_range(self, encoder, rng):
+        x, y = make_separable(rng)
+        with pytest.raises(ConfigurationError):
+            HDClassifier(encoder, C).fit(x, y + C)

@@ -1,0 +1,97 @@
+"""Tests for the training entry point and the metrics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.record import RecordEncoder
+from repro.errors import DimensionMismatchError
+from repro.model.metrics import accuracy, confusion_matrix, per_class_recall
+from repro.model.train import train_model
+
+
+class TestTrainModel:
+    def test_returns_fitted_model(self, tiny_dataset):
+        encoder = RecordEncoder.random(
+            tiny_dataset.n_features, tiny_dataset.levels, 1024, rng=0
+        )
+        result = train_model(
+            encoder,
+            tiny_dataset.train_x,
+            tiny_dataset.train_y,
+            tiny_dataset.n_classes,
+            binary=True,
+            retrain_epochs=2,
+            rng=1,
+        )
+        assert len(result.history) == 2
+        assert 0.0 <= result.train_accuracy <= 1.0
+        assert result.model.score(tiny_dataset.test_x, tiny_dataset.test_y) > 0.8
+
+    def test_zero_epochs_still_scores(self, tiny_dataset):
+        encoder = RecordEncoder.random(
+            tiny_dataset.n_features, tiny_dataset.levels, 1024, rng=2
+        )
+        result = train_model(
+            encoder,
+            tiny_dataset.train_x,
+            tiny_dataset.train_y,
+            tiny_dataset.n_classes,
+            retrain_epochs=0,
+            rng=3,
+        )
+        assert result.history == ()
+        assert result.train_accuracy > 0.5
+
+    @pytest.mark.parametrize("binary", [True, False])
+    def test_both_flavors_learn(self, tiny_dataset, binary):
+        encoder = RecordEncoder.random(
+            tiny_dataset.n_features, tiny_dataset.levels, 1024, rng=4
+        )
+        result = train_model(
+            encoder,
+            tiny_dataset.train_x,
+            tiny_dataset.train_y,
+            tiny_dataset.n_classes,
+            binary=binary,
+            rng=5,
+        )
+        assert result.model.score(tiny_dataset.test_x, tiny_dataset.test_y) > 0.8
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 3])) == 1.0
+
+    def test_partial(self):
+        assert accuracy(np.array([1, 2, 3, 4]), np.array([1, 2, 0, 0])) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            accuracy(np.array([1]), np.array([1, 2]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestConfusionMatrix:
+    def test_known_counts(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        preds = np.array([0, 1, 1, 1, 0])
+        conf = confusion_matrix(preds, labels, 3)
+        assert conf[0, 0] == 1 and conf[0, 1] == 1
+        assert conf[1, 1] == 2
+        assert conf[2, 0] == 1
+        assert conf.sum() == 5
+
+    def test_recall(self):
+        conf = np.array([[3, 1], [0, 4]])
+        np.testing.assert_allclose(per_class_recall(conf), [0.75, 1.0])
+
+    def test_recall_empty_class(self):
+        conf = np.array([[2, 0], [0, 0]])
+        np.testing.assert_allclose(per_class_recall(conf), [1.0, 0.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            confusion_matrix(np.array([0]), np.array([0, 1]), 2)
