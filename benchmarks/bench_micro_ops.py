@@ -12,9 +12,9 @@ import numpy as np
 import pytest
 
 from repro.hv.ops import bind, bundle, permute, sign
-from repro.hv.packing import pack, packed_hamming
+from repro.hv.packing import hamming_packed, pack, pairwise_hamming_packed
 from repro.hv.random import random_pool
-from repro.hv.similarity import hamming, pairwise_hamming
+from repro.hv.similarity import hamming, nearest_batch, pairwise_hamming
 
 D = 10_000
 POOL = 784
@@ -56,10 +56,32 @@ def test_hamming_pool_vs_vector(benchmark, pool):
 def test_packed_hamming_pool_vs_vector(benchmark, pool):
     packed = pack(pool)
     row = pack(pool[0])
-    result = benchmark(packed_hamming, packed, row, D)
-    np.testing.assert_allclose(result, hamming(pool, pool[0]))
+    result = benchmark(hamming_packed, packed, row, D)
+    if result is not None:
+        np.testing.assert_allclose(result, hamming(pool, pool[0]))
 
 
 def test_pairwise_hamming_value_pool(benchmark):
     values = random_pool(16, D, rng=2)
     benchmark(pairwise_hamming, values)
+
+
+def test_pairwise_hamming_chunked_large_pool(benchmark, pool):
+    """Chunked Gram over the full feature-pool-sized candidate set."""
+    benchmark(pairwise_hamming, pool, 128)
+
+
+def test_pairwise_packed_stack_vs_stack(benchmark, pool):
+    """Packed XOR-popcount scoring of a pool against a query stack —
+    the attack's candidate-scoring access pattern."""
+    queries = pack(random_pool(64, D, rng=3))
+    packed = pack(pool)
+    benchmark(pairwise_hamming_packed, packed, queries, D, 128)
+
+
+def test_nearest_batch_pool(benchmark, pool):
+    """Batched nearest-row lookup (classifier inference access pattern)."""
+    targets = random_pool(64, D, rng=4)
+    result = benchmark(nearest_batch, pool, targets)
+    if result is not None:
+        assert result.shape == (64,)

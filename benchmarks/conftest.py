@@ -8,11 +8,37 @@ benches let pytest-benchmark auto-calibrate.
 Scale: benches default to the reduced experiment scale (D = 2048) so the
 whole suite finishes in minutes on one core. ``REPRO_FULL_SCALE=1``
 switches to the paper's D = 10,000.
+
+Smoke mode: ``--quick`` disables pytest-benchmark calibration (every
+benchmarked callable runs once) and tells scale-aware benches to shrink
+their workloads — a CI-friendly pass that exercises every bench body in
+seconds without producing publishable timings.
 """
 
 from __future__ import annotations
 
 import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="bench smoke mode: run each benchmark body once, small shapes",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    if config.getoption("--quick"):
+        # One call per benchmark, no warmup/calibration rounds.
+        config.option.benchmark_disable = True
+
+
+@pytest.fixture(scope="session")
+def quick(request) -> bool:
+    """True when the suite runs in ``--quick`` smoke mode."""
+    return bool(request.config.getoption("--quick"))
 
 
 @pytest.fixture(scope="session")

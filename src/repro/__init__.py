@@ -13,6 +13,27 @@ The package implements, from scratch and in pure Python/numpy:
 * synthetic stand-ins for the five evaluation datasets, and experiment
   modules regenerating every table and figure of the paper.
 
+Batch encoding API
+------------------
+
+Every encoder exposes ``encode_batch(samples, binary=True, chunk_size=None,
+memory_budget=None)`` backed by the vectorized engine of
+:mod:`repro.encoding.engine`: a level-major BLAS decomposition compiled
+once per encoder (:class:`~repro.encoding.engine.EncodingPlan`) that is
+bit-exact with per-sample encoding — including the randomized sign(0)
+tie-break stream — while running an order of magnitude faster at paper
+scale. Batches stream through bounded tiles: ``chunk_size`` pins the
+rows per tile, otherwise the tile is sized so the engine's float working
+set stays under ``memory_budget`` bytes (default 128 MiB —
+:data:`~repro.encoding.engine.DEFAULT_MEMORY_BUDGET`). The budget exists
+because the naive fully vectorized form materializes a ``(B, N, D)``
+gather — gigabytes at D = 10,000 — whereas a bounded tile keeps the hot
+loop in cache and lets arbitrarily large batches (the "heavy traffic"
+regime) run in constant memory. Large-pool similarity search uses the
+matching batched kernels :func:`repro.hv.similarity.nearest_batch`,
+:func:`repro.hv.packing.hamming_packed`, and
+:func:`repro.hv.packing.pairwise_hamming_packed`.
+
 Quickstart::
 
     from repro import (

@@ -39,6 +39,7 @@ from repro.attack.hdlock_attack import (
     as_attack_surface,
     observe_difference,
     score_guess,
+    score_guesses,
     sweep_parameter,
 )
 from repro.attack.pipeline import (
@@ -93,6 +94,7 @@ __all__ = [
     "SweepResult",
     "observe_difference",
     "score_guess",
+    "score_guesses",
     "sweep_parameter",
     "as_attack_surface",
     "BruteForceResult",

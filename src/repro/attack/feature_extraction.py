@@ -37,7 +37,7 @@ import numpy as np
 
 from repro.attack.threat_model import AttackSurface
 from repro.errors import AttackError
-from repro.hv.packing import pack, packed_hamming
+from repro.hv.packing import hamming_packed, pack
 from repro.utils.rng import SeedLike, resolve_rng
 
 
@@ -131,7 +131,7 @@ class CandidateTable:
         if self.binary:
             observed_packed = pack(observed[self.support])
             support_distance = np.asarray(
-                packed_hamming(
+                hamming_packed(
                     self._packed_predictions[available],
                     observed_packed,
                     self.support.size,

@@ -26,11 +26,14 @@ against a locked encoder.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.attack.threat_model import AttackSurface, LockedSurface
+from repro.encoding.engine import resolve_chunk_size
 from repro.errors import AttackError, ConfigurationError
+from repro.hv.similarity import cosine_matrix
 from repro.memory.key import LockKey, SubKey
 from repro.utils.rng import SeedLike
 
@@ -140,6 +143,64 @@ def score_guess(
     return float(target @ pred / denom)
 
 
+def score_guesses(
+    surface: LockedSurface,
+    observation: DifferenceObservation,
+    guesses: Sequence[SubKey],
+    chunk_size: int | None = None,
+    memory_budget: int | None = None,
+) -> np.ndarray:
+    """Score many key guesses against one observation in one pass.
+
+    The batched form of :func:`score_guess`: all candidate products on
+    the support are built with a single ``(chunk, L, |I|)`` gather per
+    tile instead of one Python-level product loop per guess — the kernel
+    behind the Fig. 5/6 sweeps, where a rotation sweep alone evaluates
+    ``D`` candidates. Tiles follow the engine chunking model
+    (``chunk_size`` guesses per tile, or a ``memory_budget``-bounded
+    working set). Guesses must share a layer count; scores match
+    :func:`score_guess` exactly.
+    """
+    if not guesses:
+        return np.empty(0, dtype=np.float64)
+    layer_counts = {g.layers for g in guesses}
+    if len(layer_counts) != 1:
+        raise ConfigurationError(
+            f"guesses must share one layer count, got {sorted(layer_counts)}"
+        )
+    pool = np.asarray(surface.base_pool)
+    dim = pool.shape[1]
+    support = observation.support
+    indices = np.array([g.indices for g in guesses], dtype=np.int64)
+    rotations = np.array([g.rotations for g in guesses], dtype=np.int64)
+    layers = indices.shape[1]
+    v_delta = (
+        surface.value_matrix[0].astype(np.int64)
+        - surface.value_matrix[-1].astype(np.int64)
+    )[support]
+    target_f = observation.target.astype(np.float64)
+
+    scores = np.empty(len(guesses), dtype=np.float64)
+    # Per guess: the (L, |I|) column-index array, the gathered int64
+    # values of the same shape, and the product/predicted rows.
+    row_bytes = support.size * (2 * layers + 2) * 8
+    chunk = resolve_chunk_size(row_bytes, len(guesses), chunk_size, memory_budget)
+    for start in range(0, len(guesses), chunk):
+        stop = min(start + chunk, len(guesses))
+        cols = (support[None, None, :] + rotations[start:stop, :, None]) % dim
+        gathered = pool[indices[start:stop, :, None], cols].astype(np.int64)
+        product = np.multiply.reduce(gathered, axis=1)
+        predicted = v_delta[None, :] * product
+        if surface.binary:
+            mismatches = np.count_nonzero(
+                np.sign(predicted) != observation.target[None, :], axis=1
+            )
+            scores[start:stop] = mismatches / support.size
+        else:
+            scores[start:stop] = cosine_matrix(predicted, target_f[None, :])[:, 0]
+    return scores
+
+
 @dataclass(frozen=True)
 class SweepResult:
     """A Fig. 5 / Fig. 6 restricted sweep over one key parameter.
@@ -184,9 +245,7 @@ def _sweep_scores(
     candidate_subkeys: list[SubKey],
 ) -> np.ndarray:
     del fixed, layer  # encoded in the candidate subkeys already
-    return np.array(
-        [score_guess(surface, observation, guess) for guess in candidate_subkeys]
-    )
+    return score_guesses(surface, observation, candidate_subkeys)
 
 
 def sweep_parameter(

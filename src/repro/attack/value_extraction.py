@@ -30,7 +30,8 @@ import numpy as np
 from repro.attack.threat_model import AttackSurface
 from repro.errors import AttackError
 from repro.hv.ops import bind, sign
-from repro.hv.similarity import hamming, pairwise_hamming
+from repro.hv.packing import hamming_packed, pack
+from repro.hv.similarity import hamming, is_bipolar, pairwise_hamming
 from repro.utils.rng import SeedLike, resolve_rng
 
 
@@ -104,9 +105,21 @@ def extract_value_mapping(
     chosen, rejected = min(d_first, d_second), max(d_first, d_second)
 
     # Levels sort by distance from ValHV_1 (Eq. 1b is monotonic in v).
-    distances_from_min = np.asarray(
-        hamming(surface.value_pool, surface.value_pool[minimum_row])
-    )
+    # Bipolar pools score through the packed XOR-popcount kernel
+    # (identical mismatch counts, an eighth of the memory traffic);
+    # anything else — packing collapses 0 and positive magnitudes —
+    # keeps the dense comparison.
+    if is_bipolar(surface.value_pool):
+        packed_pool = pack(surface.value_pool)
+        distances_from_min = np.asarray(
+            hamming_packed(
+                packed_pool, packed_pool[minimum_row], surface.value_pool.shape[1]
+            )
+        )
+    else:
+        distances_from_min = np.asarray(
+            hamming(surface.value_pool, surface.value_pool[minimum_row])
+        )
     level_order = np.argsort(distances_from_min, kind="stable")
     return ValueExtractionResult(
         level_order=level_order,

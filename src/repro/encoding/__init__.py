@@ -1,6 +1,17 @@
-"""Encoding modules: plain record, HDLock-locked, n-gram, and the oracle."""
+"""Encoding modules: plain record, HDLock-locked, n-gram, and the oracle.
+
+All encoders share the vectorized batch engine of
+:mod:`repro.encoding.engine`; see :class:`~repro.encoding.engine.EncodingPlan`
+for the chunking / memory-budget model.
+"""
 
 from repro.encoding.base import Encoder
+from repro.encoding.engine import (
+    DEFAULT_MEMORY_BUDGET,
+    EncodingPlan,
+    binarize_batch,
+    encode_batch_reference,
+)
 from repro.encoding.locked import LockedEncoder
 from repro.encoding.ngram import NGramEncoder
 from repro.encoding.oracle import EncodingOracle
@@ -12,4 +23,8 @@ __all__ = [
     "LockedEncoder",
     "NGramEncoder",
     "EncodingOracle",
+    "EncodingPlan",
+    "DEFAULT_MEMORY_BUDGET",
+    "binarize_batch",
+    "encode_batch_reference",
 ]

@@ -9,6 +9,13 @@ multiply-accumulate of Eq. 2/3 lives here once::
     H_nb = sum_i ValHV[f_i] * FeaHV_i          (non-binary)
     H_b  = sign(H_nb)                           (binary)
 
+The arithmetic itself is compiled once per encoder into an
+:class:`~repro.encoding.engine.EncodingPlan` — a level-major BLAS
+decomposition with chunked batches — and every encode call (single or
+batch, binary or not) runs through it, bit-exact with the per-sample
+reference loop. ``encode_batch`` exposes the engine's ``chunk_size`` /
+``memory_budget`` knobs.
+
 Samples are validated to be in range; quantization of raw real-valued
 data to levels is :mod:`repro.data.quantize`'s job.
 """
@@ -19,8 +26,9 @@ import abc
 
 import numpy as np
 
+from repro.encoding.engine import EncodingPlan, binarize_batch
 from repro.errors import ConfigurationError, DimensionMismatchError
-from repro.hv.ops import ACCUM_DTYPE, sign
+from repro.hv.ops import sign
 from repro.memory.item_memory import LevelMemory
 from repro.utils.rng import SeedLike, resolve_rng
 
@@ -36,6 +44,7 @@ class Encoder(abc.ABC):
         self.level_memory = level_memory
         #: Generator used exclusively for sign(0) tie-breaking (Eq. 3).
         self._tie_rng = resolve_rng(rng)
+        self._plan: EncodingPlan | None = None
 
     @property
     @abc.abstractmethod
@@ -76,6 +85,22 @@ class Encoder(abc.ABC):
             )
         return arr
 
+    @property
+    def plan(self) -> EncodingPlan:
+        """The compiled batch-encoding plan for this encoder's matrices.
+
+        Built lazily on first use and cached: both operand matrices are
+        immutable by convention (re-keying builds a new encoder). Call
+        :meth:`invalidate_caches` after mutating either matrix in place.
+        """
+        if self._plan is None:
+            self._plan = EncodingPlan(self.level_memory.matrix, self.feature_matrix)
+        return self._plan
+
+    def invalidate_caches(self) -> None:
+        """Drop the compiled plan (after in-place matrix mutation)."""
+        self._plan = None
+
     def encode_nonbinary(self, sample: np.ndarray) -> np.ndarray:
         """Encode one sample to its integer accumulation ``H_nb`` (Eq. 2)."""
         arr = self._check_sample(sample)
@@ -83,13 +108,7 @@ class Encoder(abc.ABC):
             raise DimensionMismatchError(
                 f"encode_nonbinary takes one (N,) sample, got shape {arr.shape}"
             )
-        value_rows = self.level_memory.matrix[arr]
-        return np.einsum(
-            "nd,nd->d",
-            value_rows.astype(np.int32, copy=False),
-            self.feature_matrix.astype(np.int32, copy=False),
-            dtype=ACCUM_DTYPE,
-        )
+        return self.plan.accumulate_single(arr)
 
     def encode(self, sample: np.ndarray, binary: bool = True) -> np.ndarray:
         """Encode one sample; binarize with random tie-break if ``binary``."""
@@ -98,21 +117,30 @@ class Encoder(abc.ABC):
             return accum
         return sign(accum, self._tie_rng)
 
-    def encode_batch(self, samples: np.ndarray, binary: bool = True) -> np.ndarray:
+    def encode_batch(
+        self,
+        samples: np.ndarray,
+        binary: bool = True,
+        chunk_size: int | None = None,
+        memory_budget: int | None = None,
+    ) -> np.ndarray:
         """Encode a ``(B, N)`` batch into a ``(B, D)`` matrix.
 
-        Samples are processed one at a time: the intermediate
-        ``(B, N, D)`` gather of a fully vectorized version would need
-        gigabytes at paper scale, and the per-sample einsum is already
-        memory-bandwidth-bound.
+        Runs the whole batch through the compiled
+        :class:`~repro.encoding.engine.EncodingPlan` in bounded chunks:
+        ``chunk_size`` pins the rows per tile directly, otherwise the
+        tile is sized so its working set stays under ``memory_budget``
+        bytes (default
+        :data:`~repro.encoding.engine.DEFAULT_MEMORY_BUDGET`). Output is
+        bit-identical to encoding the samples one at a time — including
+        the order of randomized sign(0) tie-breaks.
         """
         arr = self._check_sample(samples)
         if arr.ndim != 2:
             raise DimensionMismatchError(
                 f"encode_batch takes a (B, N) matrix, got shape {arr.shape}"
             )
-        dtype = np.int8 if binary else ACCUM_DTYPE
-        out = np.empty((arr.shape[0], self.dim), dtype=dtype)
-        for b in range(arr.shape[0]):
-            out[b] = self.encode(arr[b], binary=binary)
-        return out
+        accums = self.plan.accumulate(arr, chunk_size, memory_budget)
+        if not binary:
+            return accums
+        return binarize_batch(accums, self._tie_rng)

@@ -1,0 +1,272 @@
+"""Vectorized batch-encoding engine.
+
+The record-encoding kernel (Eq. 2) is a gather-multiply-accumulate::
+
+    H[b, d] = sum_n FeaHV[n, d] * ValHV[f[b, n], d]
+
+The naive batched form gathers a ``(B, N, D)`` value tile and contracts
+it with an integer einsum — at paper scale (D = 10,000) that tile is
+gigabytes and the integer contraction runs scalar, so it is *slower*
+than a per-sample loop. This module instead plans the computation around
+two observations:
+
+* **Level-major decomposition.** There are only ``M`` distinct value
+  hypervectors, and any level lookup can be written as a prefix sum of
+  level *differences*::
+
+      ValHV[f] = ValHV[0] + sum_{m=1..M-1} [f >= m] * dVal[m]
+
+  so the whole batch becomes one tiny base term plus ``M - 1`` dense
+  matrix products ``(f >= m) @ FeaHV[:, support_m]`` — real BLAS calls —
+  evaluated only on the coordinates where level ``m`` differs from
+  ``m - 1``. For the library's linear level memories (Eq. 1b) those
+  supports are disjoint and total ``D / 2``: the full batch costs about
+  *half* a single BLAS pass regardless of ``M``.
+
+* **Exact small-integer float arithmetic.** Every intermediate value is
+  an integer bounded by ``N * max|Fea| * max|dVal|``; when that bound
+  fits a float32 mantissa (< 2^24) the BLAS pipeline is bit-exact, and
+  float64 extends the guarantee to 2^53. The plan verifies the bound and
+  falls back to an exact integer einsum when it cannot hold (it never
+  does for bipolar hypervectors at any realistic ``N``).
+
+Batches are processed in chunks whose float working set — the ``(chunk,
+D)`` accumulator plus the ``(chunk, N)`` indicator and the largest
+``(chunk, |support|)`` contribution tile — stays inside a configurable
+``memory_budget``, so paper-scale encodes stream through cache instead
+of materializing the ``(B, N, D)`` gather.
+
+:func:`encode_batch_reference` preserves the original per-sample loop as
+an executable specification; the differential tests in
+``tests/encoding/test_batch_parity.py`` assert bit-exact equality
+(including the randomized sign(0) tie-break stream) between it and every
+plan mode, and the golden-seed hashes in ``tests/integration`` pin the
+numerics against future rewrites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hv.ops import ACCUM_DTYPE, BIPOLAR_DTYPE
+from repro.utils.rng import SeedLike, resolve_rng
+
+#: Default cap on the engine's per-chunk float working set (bytes).
+#: 128 MiB keeps a D = 10,000 encode in ~1,500-row chunks — large enough
+#: to amortize BLAS call overhead, small enough to coexist with the
+#: caller's own arrays on a laptop-class machine.
+DEFAULT_MEMORY_BUDGET = 128 * 1024 * 1024
+
+#: Fall back to the exact integer path when the summed level-difference
+#: support exceeds this many multiples of ``D``: beyond it the BLAS
+#: decomposition does more arithmetic than the scalar loop saves. Linear
+#: level memories sit at 0.5; only adversarially random level matrices
+#: (support ~ (M-1)/2 x D) ever cross the threshold.
+SUPPORT_FALLBACK_RATIO = 8.0
+
+_PM_ONE = np.array([-1, 1], dtype=BIPOLAR_DTYPE)
+
+
+def resolve_chunk_size(
+    per_row_bytes: int,
+    n_rows: int,
+    chunk_size: int | None = None,
+    memory_budget: int | None = None,
+) -> int:
+    """Number of batch rows per tile under a per-chunk memory budget.
+
+    ``per_row_bytes`` is the engine working set one batch row costs; an
+    explicit ``chunk_size`` overrides the budget-derived value. The
+    result is always at least 1 (a single row may exceed the budget —
+    the budget bounds *batch* amplification, not the model size itself)
+    and never more than ``n_rows``.
+    """
+    if chunk_size is not None:
+        if chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        return min(chunk_size, max(n_rows, 1))
+    budget = DEFAULT_MEMORY_BUDGET if memory_budget is None else memory_budget
+    if budget < 1:
+        raise ConfigurationError(f"memory_budget must be >= 1, got {budget}")
+    return max(1, min(n_rows if n_rows else 1, budget // max(per_row_bytes, 1)))
+
+
+class EncodingPlan:
+    """A precompiled batch-encoding strategy for one (ValHV, FeaHV) pair.
+
+    Encoders build a plan lazily and reuse it for every encode call (the
+    matrices are immutable by convention; see
+    :meth:`repro.encoding.base.Encoder.invalidate_caches`). The plan
+    owns the casts the reference implementation used to redo per call —
+    hoisting them is itself a ~2x saving on the per-sample path.
+    """
+
+    def __init__(self, level_matrix: np.ndarray, feature_matrix: np.ndarray) -> None:
+        lev = np.asarray(level_matrix)
+        fea = np.asarray(feature_matrix)
+        self.levels = int(lev.shape[0])
+        self.n_features = int(fea.shape[0])
+        self.dim = int(lev.shape[1])
+        #: Cached int32 views of the operands (shared with the
+        #: single-sample einsum path; satellite of the engine refactor).
+        self.level_i32 = lev.astype(np.int32, copy=False)
+        self.feature_i32 = fea.astype(np.int32, copy=False)
+
+        diffs = lev[1:].astype(np.int64) - lev[:-1].astype(np.int64)
+        self.supports = [np.flatnonzero(diffs[m]) for m in range(self.levels - 1)]
+        support_total = sum(int(s.size) for s in self.supports)
+
+        max_fea = int(np.abs(fea).max(initial=0))
+        max_dval = max(
+            (int(np.abs(diffs[m, s]).max()) for m, s in enumerate(self.supports) if s.size),
+            default=0,
+        )
+        max_lev0 = int(np.abs(lev[0]).max(initial=0))
+        # Worst-case magnitude of any partial accumulation: the base term
+        # plus every level-difference contribution at full strength.
+        bound = self.n_features * max_fea * (max_lev0 + max_dval * max(self.levels - 1, 1))
+
+        if bound < 2**24:
+            self._float_dtype: np.dtype | None = np.dtype(np.float32)
+        elif bound < 2**53:
+            self._float_dtype = np.dtype(np.float64)
+        else:
+            self._float_dtype = None
+        if support_total > SUPPORT_FALLBACK_RATIO * self.dim:
+            self._float_dtype = None
+        self.mode = "einsum" if self._float_dtype is None else "blas"
+
+        if self.mode == "blas":
+            dt = self._float_dtype
+            self._fea_float = fea.astype(dt)
+            # Per-step column slices of the feature matrix and the
+            # matching level-difference rows, both restricted to the
+            # support. For a linear level memory these total N x D/2
+            # floats — cached once instead of re-gathered per call.
+            self._fea_cols = [self._fea_float[:, s] for s in self.supports]
+            self._dval_rows = [
+                diffs[m, s].astype(dt) for m, s in enumerate(self.supports)
+            ]
+            base = fea.sum(axis=0, dtype=np.int64) * lev[0].astype(np.int64)
+            self._base = base.astype(dt)
+            max_support = max((int(s.size) for s in self.supports), default=0)
+            # accumulator (D) + indicator (N) + contribution tile
+            # (|support|, counted twice: the matmul result and the
+            # scaled copy) per batch row.
+            self._row_bytes = (self.dim + self.n_features + 2 * max_support) * dt.itemsize
+        else:
+            # (N, D) int32 gather per row dominates the fallback tile.
+            self._row_bytes = self.n_features * self.dim * 4
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+
+    def _accumulate_blas(self, samples: np.ndarray) -> np.ndarray:
+        dt = self._float_dtype
+        out = np.repeat(self._base[None, :], samples.shape[0], axis=0)
+        for m in range(1, self.levels):
+            support = self.supports[m - 1]
+            if support.size == 0:
+                continue
+            indicator = (samples >= m).astype(dt)
+            contribution = indicator @ self._fea_cols[m - 1]
+            contribution *= self._dval_rows[m - 1]
+            out[:, support] += contribution
+        return out.astype(ACCUM_DTYPE)
+
+    def _accumulate_einsum(self, samples: np.ndarray) -> np.ndarray:
+        out = np.empty((samples.shape[0], self.dim), dtype=ACCUM_DTYPE)
+        for b in range(samples.shape[0]):
+            out[b] = np.einsum(
+                "nd,nd->d",
+                self.level_i32[samples[b]],
+                self.feature_i32,
+                dtype=ACCUM_DTYPE,
+            )
+        return out
+
+    def accumulate(
+        self,
+        samples: np.ndarray,
+        chunk_size: int | None = None,
+        memory_budget: int | None = None,
+    ) -> np.ndarray:
+        """Encode a validated ``(B, N)`` level batch to ``(B, D)`` int64.
+
+        Chunked along the batch axis so the per-tile working set stays
+        under ``memory_budget`` bytes (or exactly ``chunk_size`` rows).
+        """
+        n_rows = int(samples.shape[0])
+        out = np.empty((n_rows, self.dim), dtype=ACCUM_DTYPE)
+        if n_rows == 0:
+            return out
+        kernel = (
+            self._accumulate_blas if self.mode == "blas" else self._accumulate_einsum
+        )
+        chunk = resolve_chunk_size(self._row_bytes, n_rows, chunk_size, memory_budget)
+        for start in range(0, n_rows, chunk):
+            stop = min(start + chunk, n_rows)
+            out[start:stop] = kernel(samples[start:stop])
+        return out
+
+    def accumulate_single(self, sample: np.ndarray) -> np.ndarray:
+        """Encode one validated ``(N,)`` sample to a ``(D,)`` int64 HV."""
+        return self.accumulate(sample[None, :])[0]
+
+
+def binarize_batch(accums: np.ndarray, rng: SeedLike = None) -> np.ndarray:
+    """Row-wise Eq. 3 binarization, replaying the per-sample tie stream.
+
+    Exactly equivalent to calling :func:`repro.hv.ops.sign` on each row
+    in order: rows are visited first-to-last and each row with ties
+    draws its own ``choice`` of that row's tie count, so a seeded
+    generator produces bit-identical output to the per-sample reference
+    loop — the property the differential tests pin down.
+    """
+    arr = np.asarray(accums)
+    out = np.where(arr > 0, 1, -1).astype(BIPOLAR_DTYPE)
+    zeros = arr == 0
+    tie_rows = np.flatnonzero(zeros.any(axis=-1))
+    if tie_rows.size:
+        gen = resolve_rng(rng)
+        for row in tie_rows:
+            mask = zeros[row]
+            out[row, mask] = gen.choice(_PM_ONE, size=int(np.count_nonzero(mask)))
+    return out
+
+
+def encode_batch_reference(
+    level_matrix: np.ndarray,
+    feature_matrix: np.ndarray,
+    samples: np.ndarray,
+    binary: bool = True,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """The original per-sample encode loop, kept as an executable spec.
+
+    One gather + integer einsum + (optional) sign per sample, casting
+    the operands on every iteration exactly as the pre-engine
+    implementation did. Differential tests and the old-vs-new benchmarks
+    run this against :class:`EncodingPlan`; it is never used on a hot
+    path.
+    """
+    from repro.hv.ops import sign
+
+    lev = np.asarray(level_matrix)
+    fea = np.asarray(feature_matrix)
+    arr = np.asarray(samples)
+    gen = resolve_rng(rng)
+    out = np.empty(
+        (arr.shape[0], lev.shape[1]), dtype=BIPOLAR_DTYPE if binary else ACCUM_DTYPE
+    )
+    for b in range(arr.shape[0]):
+        accum = np.einsum(
+            "nd,nd->d",
+            lev[arr[b]].astype(np.int32, copy=False),
+            fea.astype(np.int32, copy=False),
+            dtype=ACCUM_DTYPE,
+        )
+        out[b] = sign(accum, gen) if binary else accum
+    return out

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.encoding.engine import binarize_batch, resolve_chunk_size
 from repro.errors import ConfigurationError, DimensionMismatchError
 from repro.hv.ops import ACCUM_DTYPE, BIPOLAR_DTYPE, permute, sign
 from repro.memory.key import LockKey
@@ -61,6 +62,10 @@ class NGramEncoder:
         self.n = n
         self.locked = key is not None
         self._tie_rng = resolve_rng(rng)
+        # Position-rotated copies of the item matrix, shared by every
+        # encode call (the per-sample path used to rebuild them per
+        # sequence — n extra (A, D) passes each time).
+        self._rotated: list[np.ndarray] | None = None
 
     @property
     def alphabet_size(self) -> int:
@@ -93,14 +98,22 @@ class NGramEncoder:
             )
         return arr
 
+    def _rotated_items(self) -> list[np.ndarray]:
+        if self._rotated is None:
+            self._rotated = [permute(self._items, j) for j in range(self.n)]
+        return self._rotated
+
+    def invalidate_caches(self) -> None:
+        """Drop cached rotations (after in-place item-matrix mutation)."""
+        self._rotated = None
+
     def encode_nonbinary(self, seq: np.ndarray) -> np.ndarray:
         """Bundle all rotated n-gram bindings of ``seq`` (integer output)."""
         arr = self._check_sequence(seq)
-        length = arr.shape[0]
-        n_grams = length - self.n + 1
-        # Rotate the whole item matrix once per in-gram position, then
-        # gather: cheaper than rotating per (t, j) pair.
-        rotated = [permute(self._items, j) for j in range(self.n)]
+        n_grams = arr.shape[0] - self.n + 1
+        # Gather from the cached position-rotated item matrices: cheaper
+        # than rotating per (t, j) pair, and shared across calls.
+        rotated = self._rotated_items()
         grams = np.ones((n_grams, self.dim), dtype=BIPOLAR_DTYPE)
         for j in range(self.n):
             grams = np.multiply(
@@ -114,3 +127,67 @@ class NGramEncoder:
         if not binary:
             return accum
         return sign(accum, self._tie_rng)
+
+    def _check_batch(self, seqs: np.ndarray) -> np.ndarray:
+        arr = np.asarray(seqs)
+        if arr.ndim != 2:
+            raise DimensionMismatchError(
+                f"encode_batch takes a (B, T) matrix of equal-length "
+                f"sequences, got shape {arr.shape}"
+            )
+        if arr.shape[1] < self.n:
+            raise ConfigurationError(
+                f"sequences of length {arr.shape[1]} shorter than n={self.n}"
+            )
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise ConfigurationError("sequences must contain integer symbol ids")
+        if arr.size and (arr.min() < 0 or arr.max() >= self.alphabet_size):
+            raise ConfigurationError(
+                f"symbol ids must lie in [0, {self.alphabet_size})"
+            )
+        return arr
+
+    def encode_batch(
+        self,
+        seqs: np.ndarray,
+        binary: bool = True,
+        chunk_size: int | None = None,
+        memory_budget: int | None = None,
+    ) -> np.ndarray:
+        """Encode a ``(B, T)`` batch of equal-length sequences to ``(B, D)``.
+
+        Vectorized across the batch: one ``(chunk, n_grams, D)`` bipolar
+        product tile per chunk, gathered from the cached rotated item
+        matrices, summed over the gram axis. Chunks are sized like the
+        record engine's (``chunk_size`` rows, or a ``memory_budget``-
+        bounded working set). Bit-identical to per-sequence
+        :meth:`encode`, including the sign(0) tie-break stream.
+        """
+        arr = self._check_batch(seqs)
+        n_rows = int(arr.shape[0])
+        n_grams = int(arr.shape[1]) - self.n + 1
+        accums = np.empty((n_rows, self.dim), dtype=ACCUM_DTYPE)
+        if n_rows:
+            rotated = self._rotated_items()
+            # Per row: the grams tile plus the same-shaped gather
+            # temporary of each bind step, plus the int64 sum row.
+            row_bytes = 2 * n_grams * self.dim + self.dim * 8
+            chunk = resolve_chunk_size(row_bytes, n_rows, chunk_size, memory_budget)
+            for start in range(0, n_rows, chunk):
+                block = arr[start : min(start + chunk, n_rows)]
+                grams = np.ones(
+                    (block.shape[0], n_grams, self.dim), dtype=BIPOLAR_DTYPE
+                )
+                for j in range(self.n):
+                    np.multiply(
+                        grams,
+                        rotated[j][block[:, j : j + n_grams]],
+                        out=grams,
+                        dtype=BIPOLAR_DTYPE,
+                    )
+                accums[start : start + block.shape[0]] = grams.sum(
+                    axis=1, dtype=ACCUM_DTYPE
+                )
+        if not binary:
+            return accums
+        return binarize_batch(accums, self._tie_rng)

@@ -49,8 +49,25 @@ class EncodingOracle:
         self.n_queries += 1
         return self._encoder.encode(np.asarray(sample), binary=self.binary)
 
-    def query_batch(self, samples: np.ndarray) -> np.ndarray:
-        """Encode a batch of crafted samples (counted per sample)."""
+    def query_batch(
+        self,
+        samples: np.ndarray,
+        chunk_size: int | None = None,
+        memory_budget: int | None = None,
+    ) -> np.ndarray:
+        """Encode a batch of crafted samples (counted per sample).
+
+        Runs through the encoder's vectorized batch engine; the chunking
+        knobs are passed straight to
+        :meth:`~repro.encoding.base.Encoder.encode_batch`. A deployed
+        device pipelines queries the same way, so batching changes the
+        observable outputs in no way — only the attacker's wall-clock.
+        """
         arr = np.asarray(samples)
         self.n_queries += int(arr.shape[0])
-        return self._encoder.encode_batch(arr, binary=self.binary)
+        return self._encoder.encode_batch(
+            arr,
+            binary=self.binary,
+            chunk_size=chunk_size,
+            memory_budget=memory_budget,
+        )

@@ -31,7 +31,14 @@ from repro.hv.ops import (
     sign,
     stack,
 )
-from repro.hv.packing import PackedPool, pack, packed_hamming, unpack
+from repro.hv.packing import (
+    PackedPool,
+    hamming_packed,
+    pack,
+    packed_hamming,
+    pairwise_hamming_packed,
+    unpack,
+)
 from repro.hv.properties import (
     LevelLinearityReport,
     OrthogonalityReport,
@@ -40,7 +47,16 @@ from repro.hv.properties import (
     orthogonality_report,
 )
 from repro.hv.random import random_hv, random_pool, shuffled_copy
-from repro.hv.similarity import cosine, dot, hamming, nearest, pairwise_hamming
+from repro.hv.similarity import (
+    cosine,
+    cosine_matrix,
+    dot,
+    hamming,
+    is_bipolar,
+    nearest,
+    nearest_batch,
+    pairwise_hamming,
+)
 
 __all__ = [
     "ACCUM_DTYPE",
@@ -64,13 +80,18 @@ __all__ = [
     "level_profile",
     "expected_level_distance",
     "cosine",
+    "cosine_matrix",
     "dot",
     "hamming",
+    "is_bipolar",
     "nearest",
+    "nearest_batch",
     "pairwise_hamming",
     "pack",
     "unpack",
+    "hamming_packed",
     "packed_hamming",
+    "pairwise_hamming_packed",
     "PackedPool",
     "OrthogonalityReport",
     "LevelLinearityReport",

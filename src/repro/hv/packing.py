@@ -51,13 +51,14 @@ def unpack(packed: np.ndarray, dim: int) -> np.ndarray:
     return (2 * bits.astype(np.int16) - 1).astype(BIPOLAR_DTYPE)
 
 
-def packed_hamming(a: np.ndarray, b: np.ndarray, dim: int) -> np.ndarray | float:
-    """Normalized Hamming distance between packed HVs.
+def hamming_packed(a: np.ndarray, b: np.ndarray, dim: int) -> np.ndarray | float:
+    """Normalized Hamming distance between packed HVs, broadcasting.
 
-    ``a`` may be a ``(K, B)`` stack and ``b`` a ``(B,)`` row (or vice
-    versa); the XOR broadcasts. ``dim`` is the unpacked dimension used
-    for normalization (trailing pad bits are identical after packing, so
-    they never contribute to the XOR).
+    ``a`` may be a ``(K, W)`` stack and ``b`` a ``(W,)`` row (or vice
+    versa, or any mutually broadcastable stack shapes); the XOR
+    broadcasts. ``dim`` is the unpacked dimension used for normalization
+    (trailing pad bits are identical after packing, so they never
+    contribute to the XOR).
     """
     a_arr = np.asarray(a, dtype=np.uint8)
     b_arr = np.asarray(b, dtype=np.uint8)
@@ -68,6 +69,46 @@ def packed_hamming(a: np.ndarray, b: np.ndarray, dim: int) -> np.ndarray | float
     diff = np.bitwise_xor(a_arr, b_arr)
     result = _popcount_bytes(diff) / dim
     return float(result) if np.ndim(result) == 0 else result
+
+
+#: Backward-compatible alias of :func:`hamming_packed` (pre-batch name).
+packed_hamming = hamming_packed
+
+
+def pairwise_hamming_packed(
+    a: np.ndarray,
+    b: np.ndarray | None = None,
+    dim: int | None = None,
+    chunk_size: int | None = None,
+) -> np.ndarray:
+    """All-pairs normalized Hamming distances of packed stacks.
+
+    ``a`` is a ``(Ka, W)`` packed stack, ``b`` a ``(Kb, W)`` one (``a``
+    itself when omitted); the result is ``(Ka, Kb)``. Work is tiled in
+    row blocks of ``a`` (``chunk_size`` rows, default 256) so the
+    ``(chunk, Kb, W)`` XOR tile stays cache-sized however large the
+    pools get — this is the kernel behind large candidate-pool scoring
+    in the reasoning attack.
+    """
+    a_arr = np.asarray(a, dtype=np.uint8)
+    b_arr = a_arr if b is None else np.asarray(b, dtype=np.uint8)
+    if a_arr.ndim != 2 or b_arr.ndim != 2:
+        raise DimensionMismatchError(
+            f"expected packed (K, W) stacks, got {a_arr.shape} and {b_arr.shape}"
+        )
+    if a_arr.shape[1] != b_arr.shape[1]:
+        raise DimensionMismatchError(
+            f"packed widths differ: {a_arr.shape[1]} vs {b_arr.shape[1]}"
+        )
+    if dim is None:
+        raise ValueError("dim (unpacked dimension) is required")
+    chunk = max(1, 256 if chunk_size is None else int(chunk_size))
+    out = np.empty((a_arr.shape[0], b_arr.shape[0]), dtype=np.float64)
+    for start in range(0, a_arr.shape[0], chunk):
+        stop = min(start + chunk, a_arr.shape[0])
+        diff = np.bitwise_xor(a_arr[start:stop, None, :], b_arr[None, :, :])
+        out[start:stop] = _popcount_bytes(diff) / dim
+    return out
 
 
 class PackedPool:
@@ -102,4 +143,17 @@ class PackedPool:
 
     def hamming_to(self, hv: np.ndarray) -> np.ndarray:
         """Normalized Hamming distance of every row to a bipolar ``hv``."""
-        return packed_hamming(self.rows, pack(hv), self.dim)
+        return hamming_packed(self.rows, pack(hv), self.dim)
+
+    def hamming_to_many(self, hvs: np.ndarray, chunk_size: int | None = None) -> np.ndarray:
+        """Distances of every row to each of ``(B, D)`` bipolar HVs.
+
+        Returns a ``(K, B)`` matrix via the chunked pairwise kernel.
+        """
+        return pairwise_hamming_packed(
+            self.rows, pack(np.atleast_2d(hvs)), self.dim, chunk_size
+        )
+
+    def nearest(self, hv: np.ndarray) -> int:
+        """Index of the pool row closest to a bipolar ``hv``."""
+        return int(np.argmin(self.hamming_to(hv)))

@@ -55,20 +55,35 @@ def cosine(a: np.ndarray, b: np.ndarray) -> np.ndarray | float:
     return float(result) if np.ndim(result) == 0 else result
 
 
-def pairwise_hamming(pool: np.ndarray) -> np.ndarray:
+def pairwise_hamming(pool: np.ndarray, chunk_size: int | None = None) -> np.ndarray:
     """All-pairs normalized Hamming distance matrix of a ``(K, D)`` pool.
 
     Computed through the Gram matrix (``hamming = (1 - gram/D) / 2``)
-    which is a single ``K x K`` matmul instead of ``K^2`` vector passes.
-    The attacker uses this on the published value-HV pool to find the two
-    extreme levels (Sec. 3.2, "Value Hypervector Extraction").
+    which is a BLAS ``K x K`` matmul instead of ``K^2`` vector passes —
+    exact for bipolar pools since every dot product is an integer well
+    inside the float64 mantissa. Rows are processed in ``chunk_size``
+    blocks (default: all at once below 4096 rows, 1024-row tiles above),
+    which bounds the per-tile gram temporary; note the pool itself is
+    still cast to one full ``(K, D)`` float64 copy and the ``(K, K)``
+    output is dense — for pools too large for that, use the bit-packed
+    :func:`repro.hv.packing.pairwise_hamming_packed` (8x leaner inputs).
+    The attacker uses this on the published value-HV pool to find the
+    two extreme levels (Sec. 3.2, "Value Hypervector Extraction").
     """
-    mat = np.asarray(pool, dtype=np.float64)
+    mat = np.asarray(pool)
     if mat.ndim != 2:
         raise ValueError(f"expected a (K, D) pool, got shape {mat.shape}")
-    d = mat.shape[1]
-    gram = mat @ mat.T
-    return (1.0 - gram / d) / 2.0
+    k, d = mat.shape
+    if chunk_size is None:
+        chunk_size = k if k <= 4096 else 1024
+    chunk = max(1, int(chunk_size))
+    mat_f = mat.astype(np.float64, copy=False)
+    out = np.empty((k, k), dtype=np.float64)
+    for start in range(0, k, chunk):
+        stop = min(start + chunk, k)
+        gram = mat_f[start:stop] @ mat_f.T
+        out[start:stop] = (1.0 - gram / d) / 2.0
+    return out
 
 
 def nearest(pool: np.ndarray, target: np.ndarray, metric: str = "hamming") -> int:
@@ -81,4 +96,78 @@ def nearest(pool: np.ndarray, target: np.ndarray, metric: str = "hamming") -> in
         return int(np.argmin(hamming(pool, target)))
     if metric == "cosine":
         return int(np.argmax(cosine(pool, target)))
+    raise ValueError(f"unknown metric {metric!r}; expected 'hamming' or 'cosine'")
+
+
+def is_bipolar(arr: np.ndarray) -> bool:
+    """True when every entry of an integer array is -1 or +1.
+
+    The gate for routing Hamming work through the packed XOR-popcount
+    kernels: packing collapses 0 and all positive magnitudes onto one
+    bit, so only genuinely bipolar data may take the packed path.
+    """
+    return (
+        np.issubdtype(np.asarray(arr).dtype, np.integer)
+        and np.asarray(arr).size > 0
+        and bool((np.abs(arr) == 1).all())
+    )
+
+
+def cosine_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """All-pairs cosine similarity of ``(Ka, D)`` against ``(Kb, D)``.
+
+    One BLAS matmul plus two norm passes instead of ``Ka * Kb`` vector
+    dots. Rows with zero norm score 0 against everything, matching
+    :func:`cosine`'s degenerate-vector convention — classifier
+    inference and attack guess scoring both rely on this helper so the
+    convention lives in exactly one place.
+    """
+    a_f = np.asarray(a, dtype=np.float64)
+    b_f = np.asarray(b, dtype=np.float64)
+    if a_f.ndim != 2 or b_f.ndim != 2:
+        raise ValueError(
+            f"expected (K, D) stacks, got shapes {a_f.shape} and {b_f.shape}"
+        )
+    check_same_dim(a_f, b_f)
+    num = a_f @ b_f.T
+    denom = np.linalg.norm(a_f, axis=1)[:, None] * np.linalg.norm(b_f, axis=1)
+    return np.where(denom == 0, 0.0, num / np.where(denom == 0, 1.0, denom))
+
+
+def nearest_batch(
+    pool: np.ndarray,
+    targets: np.ndarray,
+    metric: str = "hamming",
+    chunk_size: int | None = None,
+) -> np.ndarray:
+    """Index of the most similar pool row for each of ``(B, D)`` targets.
+
+    The batched form of :func:`nearest`: one call scores every target
+    against every pool row and returns a length-``B`` index array.
+    Bipolar pools under the Hamming metric go through the bit-packed
+    XOR-popcount kernel (8x less memory traffic, tiled by
+    ``chunk_size``); everything else uses dense broadcasting. Ties
+    resolve to the lowest index, exactly like per-target
+    :func:`nearest`.
+    """
+    pool_arr = np.asarray(pool)
+    targets_arr = np.atleast_2d(np.asarray(targets))
+    if pool_arr.ndim != 2:
+        raise ValueError(f"expected a (K, D) pool, got shape {pool_arr.shape}")
+    check_same_dim(pool_arr, targets_arr)
+    if targets_arr.shape[0] == 0:
+        return np.empty(0, dtype=np.int64)
+    if metric == "hamming":
+        if is_bipolar(pool_arr) and is_bipolar(targets_arr):
+            from repro.hv.packing import pack, pairwise_hamming_packed
+
+            distances = pairwise_hamming_packed(
+                pack(targets_arr), pack(pool_arr), pool_arr.shape[1], chunk_size
+            )
+        else:
+            distances = np.stack([hamming(pool_arr, t) for t in targets_arr])
+        return np.argmin(distances, axis=1)
+    if metric == "cosine":
+        similarities = np.stack([cosine(pool_arr, t) for t in targets_arr])
+        return np.argmax(similarities, axis=1)
     raise ValueError(f"unknown metric {metric!r}; expected 'hamming' or 'cosine'")

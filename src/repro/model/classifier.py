@@ -20,7 +20,8 @@ import numpy as np
 from repro.encoding.base import Encoder
 from repro.errors import ConfigurationError, DimensionMismatchError
 from repro.hv.ops import sign
-from repro.hv.similarity import cosine, hamming
+from repro.hv.packing import pack, pairwise_hamming_packed
+from repro.hv.similarity import cosine, cosine_matrix, hamming
 from repro.utils.rng import SeedLike, resolve_rng
 
 
@@ -50,6 +51,9 @@ class HDClassifier:
         # drawn once per training state: a deployed binary model's class
         # hypervectors are fixed bits, not re-randomized per query.
         self._binary_classes: Optional[np.ndarray] = None
+        # Bit-packed view of the binary class memory, invalidated with
+        # it; inference XOR-popcounts queries against this.
+        self._packed_classes: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # training
@@ -90,10 +94,14 @@ class HDClassifier:
         if encoded is None:
             encoded = self.encode_training(samples)
         labels_arr = self._check_labels(labels, encoded.shape[0])
-        accums = np.zeros((self.n_classes, self.encoder.dim), dtype=np.float64)
-        np.add.at(accums, labels_arr, encoded.astype(np.float64))
-        self._accums = accums
+        # Class sums as a one-hot matmul: BLAS instead of a scatter
+        # loop, and exact — encodings are integers, so every float64
+        # partial sum is too.
+        onehot = np.zeros((encoded.shape[0], self.n_classes), dtype=np.float64)
+        onehot[np.arange(encoded.shape[0]), labels_arr] = 1.0
+        self._accums = onehot.T @ encoded.astype(np.float64)
         self._binary_classes = None
+        self._packed_classes = None
         return self
 
     def retrain(
@@ -122,14 +130,14 @@ class HDClassifier:
         encoded_f = encoded.astype(np.float64)
         for _ in range(epochs):
             predictions = self._predict_encoded(encoded)
-            wrong = predictions != labels_arr
-            for b in np.flatnonzero(wrong):
-                hv = learning_rate * encoded_f[b]
-                self._accums[labels_arr[b]] += hv
-                self._accums[predictions[b]] -= hv
-            if wrong.any():
+            wrong = np.flatnonzero(predictions != labels_arr)
+            if wrong.size:
+                updates = learning_rate * encoded_f[wrong]
+                np.add.at(self._accums, labels_arr[wrong], updates)
+                np.add.at(self._accums, predictions[wrong], -updates)
                 self._binary_classes = None
-            history.append(float(np.mean(predictions == labels_arr)))
+                self._packed_classes = None
+            history.append(1.0 - wrong.size / labels_arr.shape[0])
         return history
 
     # ------------------------------------------------------------------
@@ -152,12 +160,23 @@ class HDClassifier:
 
     def _predict_encoded(self, encoded: np.ndarray) -> np.ndarray:
         classes = self.class_matrix
+        if encoded.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
         if self.binary:
-            # (B, C) pairwise Hamming distances; nearest class wins.
-            distances = np.stack([hamming(classes, hv) for hv in encoded])
+            # (B, C) Hamming distances through the packed XOR-popcount
+            # kernel; the packed class memory is cached per training
+            # state. Identical mismatch counts to the dense comparison
+            # (both operands are bipolar), so nearest-class decisions
+            # are unchanged.
+            if self._packed_classes is None:
+                self._packed_classes = pack(classes)
+            distances = pairwise_hamming_packed(
+                pack(encoded), self._packed_classes, self.encoder.dim
+            )
             return np.argmin(distances, axis=1)
-        similarities = np.stack([cosine(classes, hv) for hv in encoded])
-        return np.argmax(similarities, axis=1)
+        # Non-binary: one (B, C) cosine matrix via BLAS instead of B
+        # vector passes.
+        return np.argmax(cosine_matrix(encoded, classes), axis=1)
 
     def predict(self, samples: np.ndarray) -> np.ndarray:
         """Predict class labels for a ``(B, N)`` batch of level vectors."""

@@ -1,0 +1,49 @@
+"""Performance acceptance gate for the batch-encoding engine.
+
+Marked ``slow`` (run with ``pytest -m slow``) so tier-1 stays fast:
+wall-clock assertions belong in an explicit performance pass, not the
+default suite. The threshold deliberately sits far below the measured
+speedup (~20x on a single core at this shape) so scheduler noise cannot
+flake it.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.encoding.engine import encode_batch_reference
+from repro.encoding.record import RecordEncoder
+
+
+@pytest.mark.slow
+def test_paper_scale_batch_speedup_at_least_5x():
+    n_features, levels, dim, batch = 64, 16, 10_000, 512
+    encoder = RecordEncoder.random(n_features, levels, dim, rng=1)
+    reference_side = RecordEncoder.random(n_features, levels, dim, rng=1)
+    samples = np.random.default_rng(0).integers(0, levels, (batch, n_features))
+
+    start = time.perf_counter()
+    want = encode_batch_reference(
+        reference_side.level_memory.matrix,
+        reference_side.feature_matrix,
+        samples,
+        binary=True,
+        rng=reference_side._tie_rng,
+    )
+    reference_seconds = time.perf_counter() - start
+
+    encoder.plan  # build outside the timed region: one-time compile
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        got = encoder.encode_batch(samples, binary=True)
+        best = min(best, time.perf_counter() - start)
+        encoder = RecordEncoder.random(n_features, levels, dim, rng=1)
+        encoder.plan
+
+    np.testing.assert_array_equal(got, want)
+    speedup = reference_seconds / best
+    assert speedup >= 5.0, f"engine only {speedup:.1f}x faster than reference"

@@ -1,0 +1,93 @@
+"""Golden-seed regression hashes for encoder and classifier numerics.
+
+SHA-256 digests of pinned-seed outputs across every encoder family and
+both classifier flavors. The batch-engine parity suite proves today's
+kernels bit-exact against the per-sample reference; these hashes freeze
+that agreement so a *future* kernel rewrite (SIMD, packed accumulation,
+GPU backend) cannot silently shift numerics — any change that is not
+bit-exact must consciously update the digests.
+
+The digests cover raw bytes plus shape and dtype, so a dtype regression
+(e.g. int64 accumulations silently narrowing) fails even when the values
+round-trip.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.encoding.ngram import NGramEncoder
+from repro.encoding.record import RecordEncoder
+from repro.hdlock.lock import create_locked_encoder
+from repro.hv.random import random_pool
+from repro.model.classifier import HDClassifier
+
+GOLDEN = {
+    "record-binary": "986daf59461e514cba9695f5cd2e296371de602869e2cec7f2b787e84065d8fe",
+    "record-nonbinary": "652692124c46af092b26fd893dd06806bca6de75fe6a84fc339948cbee8711de",
+    "locked-binary": "12c06f9ef2727335b23ed4d9d39fbe3c0d3403ec374c42ab6a48c31f09e884ea",
+    "ngram-binary": "d4079e0ec08e4a2a67c7fb680e3f9f5833b2b84d64d4d51759766bf02068201c",
+    "ngram-nonbinary": "7f07a1a4096f584c5d1a9afa75021b1526ba2be502998feb58f89c92d3718493",
+    "classifier-class-matrix": "d40419c71bfe6ffedee95a01edc22b01e194b9b7973c5636346d90d4310cb9fb",
+    "classifier-predictions": "d784a2d99cbc0a87aca455ca4b7528a908693a709a494faaf6d285f3d0ea67c5",
+    "classifier-nonbinary-accums": "5452808c656b757530b4ee704dee609bc8aaffe86e54295ab5ca9c9cf99e24df",
+    "classifier-nonbinary-predictions": "f61a94fae465e7b88294ae6ea8de80119f9042a866b7571117a4e465cc6373a5",
+}
+
+
+def _digest(arr: np.ndarray) -> str:
+    arr = np.ascontiguousarray(arr)
+    h = hashlib.sha256()
+    h.update(str((arr.shape, str(arr.dtype))).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def test_record_encoder_digests():
+    encoder = RecordEncoder.random(25, 8, 512, rng=1234)
+    samples = np.random.default_rng(99).integers(0, 8, (12, 25))
+    assert _digest(encoder.encode_batch(samples, binary=True)) == GOLDEN["record-binary"]
+    assert (
+        _digest(encoder.encode_batch(samples, binary=False))
+        == GOLDEN["record-nonbinary"]
+    )
+
+
+def test_locked_encoder_digest():
+    encoder = create_locked_encoder(15, 6, 512, layers=2, rng=77).encoder
+    samples = np.random.default_rng(41).integers(0, 6, (9, 15))
+    assert _digest(encoder.encode_batch(samples, binary=True)) == GOLDEN["locked-binary"]
+
+
+def test_ngram_encoder_digests():
+    encoder = NGramEncoder(random_pool(7, 384, rng=5), n=3, rng=11)
+    seqs = np.random.default_rng(3).integers(0, 7, (8, 20))
+    assert _digest(encoder.encode_batch(seqs, binary=True)) == GOLDEN["ngram-binary"]
+    assert _digest(encoder.encode_batch(seqs, binary=False)) == GOLDEN["ngram-nonbinary"]
+
+
+def _training_data():
+    gen = np.random.default_rng(17)
+    return gen.integers(0, 8, (60, 20)), gen.integers(0, 3, 60)
+
+
+def test_binary_classifier_digests():
+    samples, labels = _training_data()
+    model = HDClassifier(
+        RecordEncoder.random(20, 8, 512, rng=31), n_classes=3, binary=True, rng=8
+    ).fit(samples, labels)
+    assert _digest(model.class_matrix) == GOLDEN["classifier-class-matrix"]
+    assert _digest(model.predict(samples)) == GOLDEN["classifier-predictions"]
+
+
+def test_nonbinary_classifier_digests():
+    samples, labels = _training_data()
+    model = HDClassifier(
+        RecordEncoder.random(20, 8, 512, rng=31), n_classes=3, binary=False, rng=8
+    ).fit(samples, labels)
+    assert _digest(model.class_matrix) == GOLDEN["classifier-nonbinary-accums"]
+    assert (
+        _digest(model.predict(samples)) == GOLDEN["classifier-nonbinary-predictions"]
+    )
