@@ -11,8 +11,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-
 from repro.attack.pipeline import run_reasoning_attack
 from repro.attack.threat_model import expose_model
 from repro.encoding.record import RecordEncoder

@@ -10,7 +10,10 @@ The batch benches compare the vectorized engine
 (:class:`repro.encoding.engine.EncodingPlan`) against the retired
 per-sample loop (:func:`repro.encoding.engine.encode_batch_reference`)
 and print the speedup (run with ``-s``); parity is asserted on every
-run, so the speedup numbers are for bit-identical outputs.
+run, so the speedup numbers are for bit-identical outputs. The packed
+benches do the same for the fused packed path (dense binarize + pack
+vs ``encode_batch_packed``) and for the bit-sliced fallback kernel
+against the retained per-sample einsum.
 """
 
 from __future__ import annotations
@@ -24,6 +27,9 @@ from repro.encoding.engine import encode_batch_reference
 from repro.encoding.record import RecordEncoder
 from repro.hdlock.feature_factory import derive_feature_matrix
 from repro.hdlock.lock import create_locked_encoder
+from repro.hv.packing import pack_words
+from repro.hv.random import random_pool
+from repro.memory.item_memory import FeatureMemory, LevelMemory
 
 N, M = 784, 16
 
@@ -106,6 +112,72 @@ def test_encode_batch_old_vs_new(benchmark, dim, quick, shape):
         f"reference {reference_seconds * 1e3:8.1f} ms | "
         f"engine (cold plan) {engine_seconds * 1e3:7.1f} ms | "
         f"speedup {reference_seconds / engine_seconds:6.1f}x"
+    )
+
+
+def test_encode_batch_packed_vs_dense(benchmark, dim, quick):
+    """Fused packed path vs dense-binarize-then-pack, bit-exact.
+
+    The packed path is the classifier's binary inference feed; the
+    printed per-row figures are the PR 2 steady-state comparison in the
+    ROADMAP's packed-path table.
+    """
+    batch, n_features = (32, 64) if quick else (512, 64)
+    dense_side = RecordEncoder.random(n_features, M, dim, rng=9)
+    packed_side = RecordEncoder.random(n_features, M, dim, rng=9)
+    samples = np.random.default_rng(10).integers(0, M, (batch, n_features))
+    dense_side.plan
+    packed_side.plan
+
+    start = time.perf_counter()
+    want = pack_words(dense_side.encode_batch(samples, binary=True))
+    dense_seconds = time.perf_counter() - start
+
+    parity_side = RecordEncoder.random(n_features, M, dim, rng=9)
+    np.testing.assert_array_equal(parity_side.encode_batch_packed(samples), want)
+
+    benchmark(packed_side.encode_batch_packed, samples)
+
+    fresh = RecordEncoder.random(n_features, M, dim, rng=9)
+    fresh.plan
+    start = time.perf_counter()
+    fresh.encode_batch_packed(samples)
+    packed_seconds = time.perf_counter() - start
+    print(
+        f"\n[packed-vs-dense] B={batch} N={n_features} D={dim}: "
+        f"dense+pack {dense_seconds * 1e6 / batch:7.1f} us/row | "
+        f"fused packed {packed_seconds * 1e6 / batch:7.1f} us/row | "
+        f"{dense_seconds / packed_seconds:5.2f}x"
+    )
+
+
+def test_encode_batch_bitslice_fallback(benchmark, dim, quick):
+    """Bit-sliced kernel vs the per-sample einsum on non-linear levels."""
+    batch, n_features, levels = (16, 64, 32) if quick else (128, 64, 32)
+    encoder = RecordEncoder(
+        FeatureMemory(random_pool(n_features, dim, rng=11)),
+        LevelMemory(random_pool(levels, dim, rng=12)),
+        rng=13,
+    )
+    plan = encoder.plan
+    assert plan.mode == "bitslice"
+    samples = np.random.default_rng(14).integers(0, levels, (batch, n_features))
+
+    start = time.perf_counter()
+    want = plan._accumulate_einsum(samples)
+    reference_seconds = time.perf_counter() - start
+
+    np.testing.assert_array_equal(plan.accumulate(samples), want)
+    benchmark(plan.accumulate, samples)
+
+    start = time.perf_counter()
+    plan.accumulate(samples)
+    bitslice_seconds = time.perf_counter() - start
+    print(
+        f"\n[bitslice-fallback] B={batch} N={n_features} M={levels} D={dim}: "
+        f"per-sample einsum {reference_seconds * 1e6 / batch:7.1f} us/row | "
+        f"bit-sliced {bitslice_seconds * 1e6 / batch:7.1f} us/row | "
+        f"{reference_seconds / bitslice_seconds:5.2f}x"
     )
 
 

@@ -12,7 +12,13 @@ import numpy as np
 import pytest
 
 from repro.hv.ops import bind, bundle, permute, sign
-from repro.hv.packing import hamming_packed, pack, pairwise_hamming_packed
+from repro.hv.packing import (
+    hamming_packed,
+    pack,
+    pack_signs,
+    pack_words,
+    pairwise_hamming_packed,
+)
 from repro.hv.random import random_pool
 from repro.hv.similarity import hamming, nearest_batch, pairwise_hamming
 
@@ -85,3 +91,27 @@ def test_nearest_batch_pool(benchmark, pool):
     result = benchmark(nearest_batch, pool, targets)
     if result is not None:
         assert result.shape == (64,)
+
+
+def test_pack_signs_fused(benchmark, pool):
+    """Fused binarize + word-pack of an accumulator batch (the last
+    stage of the packed encoding path), including tie draws."""
+    accums = pool[:64].astype(np.int64) + pool[64:128].astype(np.int64)
+    gen = np.random.default_rng(5)
+    result = benchmark(pack_signs, accums, gen)
+    if result is not None:
+        assert result.dtype == np.uint64
+
+
+def test_pairwise_hamming_words_stack_vs_stack(benchmark, pool):
+    """uint64 bit-plane XOR-popcount scoring — the packed classifier's
+    and attack scorer's inner kernel (word layout of the uint8 bench
+    above)."""
+    raw_queries = random_pool(64, D, rng=6)
+    queries = pack_words(raw_queries)
+    packed = pack_words(pool)
+    result = benchmark(pairwise_hamming_packed, packed, queries, D, 128)
+    if result is not None:
+        np.testing.assert_allclose(
+            result, pairwise_hamming_packed(pack(pool), pack(raw_queries), D, 128)
+        )

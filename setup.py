@@ -1,9 +1,13 @@
 """Legacy setup shim.
 
-The execution environment has no ``wheel`` package and no network, so
-PEP 517/660 editable installs (which build a wheel) are unavailable.
-``pip install -e . --no-build-isolation --no-use-pep517`` uses this shim
-via ``setup.py develop``. All metadata lives in pyproject.toml.
+All project metadata, the src/ package layout, and tool configuration
+(pytest, ruff, coverage) live in ``pyproject.toml``; normal environments
+install with ``pip install -e '.[dev]'`` (what CI does) and never touch
+this file. The shim exists for sandboxes without the ``wheel`` package
+or network access, where PEP 517/660 editable installs (which build a
+wheel) are unavailable: there,
+``pip install -e . --no-build-isolation --no-use-pep517`` falls back to
+``setup.py develop``, and setuptools reads the same pyproject metadata.
 """
 
 from setuptools import setup

@@ -34,6 +34,29 @@ matching batched kernels :func:`repro.hv.similarity.nearest_batch`,
 :func:`repro.hv.packing.hamming_packed`, and
 :func:`repro.hv.packing.pairwise_hamming_packed`.
 
+Packed end-to-end flow
+----------------------
+
+The binary hot path never leaves the packed bit domain. Encoders expose
+``encode_batch_packed(samples, ...)``, the fused form of the binary
+``encode_batch``: accumulations stream through a reused float scratch
+buffer (or the carry-save bit-plane kernel of :mod:`repro.hv.bitslice`
+when the level memory defeats the BLAS decomposition) and binarize
+*in place* into uint64 bit-planes via
+:func:`repro.hv.packing.pack_signs` — no int64 batch, no int8 sign
+matrix, no separate pack pass. Downstream consumers keep those words as
+is: :class:`~repro.model.classifier.HDClassifier` XOR-popcounts packed
+queries against its cached packed class memory (``predict``/``fit``/
+``retrain`` pack at most once per training state), locked-encoder
+inference inherits the same path, and attack pool scoring
+(:mod:`repro.attack.feature_extraction`,
+:mod:`repro.attack.value_extraction`,
+:mod:`repro.attack.hdlock_attack`) scores candidates with word-packed
+tables — zero pack/unpack round-trips between encoding and decision,
+pinned by ``tests/encoding/test_packed_path.py``. Everything is
+bit-exact with the dense path, tie stream included: packed outputs
+equal ``pack_words(encode_batch(..., binary=True))`` word for word.
+
 Quickstart::
 
     from repro import (
@@ -89,7 +112,7 @@ from repro.hv import DEFAULT_DIM
 from repro.memory import FeatureMemory, LevelMemory, LockKey, SecureMemory, SubKey
 from repro.model import HDClassifier, train_model
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",

@@ -37,8 +37,8 @@ import numpy as np
 
 from repro.attack.threat_model import AttackSurface
 from repro.errors import AttackError
-from repro.hv.packing import hamming_packed, pack
-from repro.utils.rng import SeedLike, resolve_rng
+from repro.hv.packing import hamming_packed, pack_words
+from repro.utils.rng import SeedLike
 
 
 @dataclass(frozen=True)
@@ -101,7 +101,9 @@ class CandidateTable:
             predictions = np.where(
                 self.total_on_support[None, :] + contributions >= 0, 1, -1
             ).astype(np.int8)
-            self._packed_predictions = pack(predictions)
+            # Word-packed (uint64) prediction table, built once; every
+            # per-feature scoring pass stays in the packed domain.
+            self._packed_predictions = pack_words(predictions)
             self._off_support_signs = np.where(
                 self._total[self.off_support] >= 0, 1, -1
             ).astype(np.int8)
@@ -129,7 +131,7 @@ class CandidateTable:
         the exact quantity paper Fig. 3 plots.
         """
         if self.binary:
-            observed_packed = pack(observed[self.support])
+            observed_packed = pack_words(observed[self.support])
             support_distance = np.asarray(
                 hamming_packed(
                     self._packed_predictions[available],

@@ -33,6 +33,7 @@ import numpy as np
 from repro.attack.threat_model import AttackSurface, LockedSurface
 from repro.encoding.engine import resolve_chunk_size
 from repro.errors import AttackError, ConfigurationError
+from repro.hv.packing import hamming_packed, pack_words
 from repro.hv.similarity import cosine_matrix
 from repro.memory.key import LockKey, SubKey
 from repro.utils.rng import SeedLike
@@ -156,10 +157,13 @@ def score_guesses(
     the support are built with a single ``(chunk, L, |I|)`` gather per
     tile instead of one Python-level product loop per guess — the kernel
     behind the Fig. 5/6 sweeps, where a rotation sweep alone evaluates
-    ``D`` candidates. Tiles follow the engine chunking model
-    (``chunk_size`` guesses per tile, or a ``memory_budget``-bounded
-    working set). Guesses must share a layer count; scores match
-    :func:`score_guess` exactly.
+    ``D`` candidates. Binary surfaces score in the packed domain: the
+    observed target packs to uint64 bit-planes once, each tile's
+    predicted signs pack as they are produced, and the mismatch count is
+    one XOR-popcount — no dense sign comparison over the support. Tiles
+    follow the engine chunking model (``chunk_size`` guesses per tile,
+    or a ``memory_budget``-bounded working set). Guesses must share a
+    layer count; scores match :func:`score_guess` exactly.
     """
     if not guesses:
         return np.empty(0, dtype=np.float64)
@@ -178,7 +182,12 @@ def score_guesses(
         surface.value_matrix[0].astype(np.int64)
         - surface.value_matrix[-1].astype(np.int64)
     )[support]
-    target_f = observation.target.astype(np.float64)
+    if surface.binary:
+        # v_delta is nonzero everywhere on the support (the observation
+        # filtered it), so every predicted entry carries a sign bit.
+        target_words = pack_words(observation.target)
+    else:
+        target_f = observation.target.astype(np.float64)
 
     scores = np.empty(len(guesses), dtype=np.float64)
     # Per guess: the (L, |I|) column-index array, the gathered int64
@@ -192,10 +201,9 @@ def score_guesses(
         product = np.multiply.reduce(gathered, axis=1)
         predicted = v_delta[None, :] * product
         if surface.binary:
-            mismatches = np.count_nonzero(
-                np.sign(predicted) != observation.target[None, :], axis=1
+            scores[start:stop] = np.asarray(
+                hamming_packed(pack_words(predicted), target_words, support.size)
             )
-            scores[start:stop] = mismatches / support.size
         else:
             scores[start:stop] = cosine_matrix(predicted, target_f[None, :])[:, 0]
     return scores

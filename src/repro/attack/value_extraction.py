@@ -30,7 +30,7 @@ import numpy as np
 from repro.attack.threat_model import AttackSurface
 from repro.errors import AttackError
 from repro.hv.ops import bind, sign
-from repro.hv.packing import hamming_packed, pack
+from repro.hv.packing import hamming_packed, pack_words
 from repro.hv.similarity import hamming, is_bipolar, pairwise_hamming
 from repro.utils.rng import SeedLike, resolve_rng
 
@@ -105,12 +105,12 @@ def extract_value_mapping(
     chosen, rejected = min(d_first, d_second), max(d_first, d_second)
 
     # Levels sort by distance from ValHV_1 (Eq. 1b is monotonic in v).
-    # Bipolar pools score through the packed XOR-popcount kernel
+    # Bipolar pools score through the word-packed XOR-popcount kernel
     # (identical mismatch counts, an eighth of the memory traffic);
     # anything else — packing collapses 0 and positive magnitudes —
     # keeps the dense comparison.
     if is_bipolar(surface.value_pool):
-        packed_pool = pack(surface.value_pool)
+        packed_pool = pack_words(surface.value_pool)
         distances_from_min = np.asarray(
             hamming_packed(
                 packed_pool, packed_pool[minimum_row], surface.value_pool.shape[1]

@@ -36,7 +36,9 @@ def quantize_minmax(
     return np.clip(scaled.astype(np.int64), 0, levels - 1)
 
 
-def dequantize(levels_arr: np.ndarray, levels: int, vmin: float, vmax: float) -> np.ndarray:
+def dequantize(
+    levels_arr: np.ndarray, levels: int, vmin: float, vmax: float
+) -> np.ndarray:
     """Map level indices back to bin-center values (lossy inverse)."""
     if levels < 2:
         raise ConfigurationError(f"need at least 2 levels, got {levels}")

@@ -37,7 +37,9 @@ def train_test_split(
     return x_arr[train_idx], y_arr[train_idx], x_arr[test_idx], y_arr[test_idx]
 
 
-def stratified_indices(labels: np.ndarray, per_class: int, rng: SeedLike = None) -> np.ndarray:
+def stratified_indices(
+    labels: np.ndarray, per_class: int, rng: SeedLike = None
+) -> np.ndarray:
     """Pick ``per_class`` sample indices from every class.
 
     Raises when a class has fewer than ``per_class`` members, so silent

@@ -80,7 +80,9 @@ class SyntheticSpec:
                 f"{self.boundary_fraction}"
             )
         if self.noise_sigma < 0:
-            raise ConfigurationError(f"noise_sigma must be >= 0, got {self.noise_sigma}")
+            raise ConfigurationError(
+                f"noise_sigma must be >= 0, got {self.noise_sigma}"
+            )
 
     @property
     def accuracy_ceiling(self) -> float:
@@ -173,4 +175,6 @@ def make_dataset(spec: SyntheticSpec, rng: SeedLike = None) -> Dataset:
 
     train_x, train_y = split(spec.train_samples)
     test_x, test_y = split(spec.test_samples)
-    return Dataset(spec=spec, train_x=train_x, train_y=train_y, test_x=test_x, test_y=test_y)
+    return Dataset(
+        spec=spec, train_x=train_x, train_y=train_y, test_x=test_x, test_y=test_y
+    )

@@ -11,10 +11,13 @@ multiply-accumulate of Eq. 2/3 lives here once::
 
 The arithmetic itself is compiled once per encoder into an
 :class:`~repro.encoding.engine.EncodingPlan` — a level-major BLAS
-decomposition with chunked batches — and every encode call (single or
-batch, binary or not) runs through it, bit-exact with the per-sample
-reference loop. ``encode_batch`` exposes the engine's ``chunk_size`` /
-``memory_budget`` knobs.
+decomposition (or the bit-sliced kernel for non-linear level memories)
+with chunked batches — and every encode call (single or batch, binary
+or not) runs through it, bit-exact with the per-sample reference loop.
+``encode_batch`` exposes the engine's ``chunk_size`` /
+``memory_budget`` knobs; ``encode_batch_packed`` is the fused binary
+hot path, returning uint64 bit-planes directly so downstream Hamming
+consumers (classifier inference, attack scoring) never unpack.
 
 Samples are validated to be in range; quantization of raw real-valued
 data to levels is :mod:`repro.data.quantize`'s job.
@@ -144,3 +147,39 @@ class Encoder(abc.ABC):
         if not binary:
             return accums
         return binarize_batch(accums, self._tie_rng)
+
+    def encode_batch_packed(
+        self,
+        samples: np.ndarray,
+        chunk_size: int | None = None,
+        memory_budget: int | None = None,
+    ) -> np.ndarray:
+        """Encode a ``(B, N)`` batch straight into packed bit-planes.
+
+        The fused binary hot path: returns ``(B, ceil(D/64))`` uint64
+        rows, bit-identical to
+        ``pack_words(self.encode_batch(samples, binary=True))`` —
+        including the sign(0) tie-break stream, which advances exactly
+        as the dense call would — without ever materializing the dense
+        sign matrix. Feed the result to
+        :func:`repro.hv.packing.hamming_packed` /
+        :func:`~repro.hv.packing.pairwise_hamming_packed` (or any
+        word-packed consumer) directly.
+        """
+        arr = self._check_sample(samples)
+        if arr.ndim != 2:
+            raise DimensionMismatchError(
+                f"encode_batch_packed takes a (B, N) matrix, got shape {arr.shape}"
+            )
+        return self.plan.accumulate_packed(
+            arr, self._tie_rng, chunk_size, memory_budget
+        )
+
+    def encode_packed(self, sample: np.ndarray) -> np.ndarray:
+        """Encode one sample to a ``(ceil(D/64),)`` uint64 packed HV."""
+        arr = self._check_sample(sample)
+        if arr.ndim != 1:
+            raise DimensionMismatchError(
+                f"encode_packed takes one (N,) sample, got shape {arr.shape}"
+            )
+        return self.plan.accumulate_packed(arr[None, :], self._tie_rng)[0]

@@ -20,6 +20,7 @@ import numpy as np
 from repro.encoding.engine import binarize_batch, resolve_chunk_size
 from repro.errors import ConfigurationError, DimensionMismatchError
 from repro.hv.ops import ACCUM_DTYPE, BIPOLAR_DTYPE, permute, sign
+from repro.hv.packing import pack_signs
 from repro.memory.key import LockKey
 from repro.utils.rng import SeedLike, resolve_rng
 
@@ -164,6 +165,18 @@ class NGramEncoder:
         :meth:`encode`, including the sign(0) tie-break stream.
         """
         arr = self._check_batch(seqs)
+        accums = self._accumulate_batch(arr, chunk_size, memory_budget)
+        if not binary:
+            return accums
+        return binarize_batch(accums, self._tie_rng)
+
+    def _accumulate_batch(
+        self,
+        arr: np.ndarray,
+        chunk_size: int | None = None,
+        memory_budget: int | None = None,
+    ) -> np.ndarray:
+        """Chunked non-binary accumulations of a validated ``(B, T)`` batch."""
         n_rows = int(arr.shape[0])
         n_grams = int(arr.shape[1]) - self.n + 1
         accums = np.empty((n_rows, self.dim), dtype=ACCUM_DTYPE)
@@ -188,6 +201,23 @@ class NGramEncoder:
                 accums[start : start + block.shape[0]] = grams.sum(
                     axis=1, dtype=ACCUM_DTYPE
                 )
-        if not binary:
-            return accums
-        return binarize_batch(accums, self._tie_rng)
+        return accums
+
+    def encode_batch_packed(
+        self,
+        seqs: np.ndarray,
+        chunk_size: int | None = None,
+        memory_budget: int | None = None,
+    ) -> np.ndarray:
+        """Encode a ``(B, T)`` batch straight into packed bit-planes.
+
+        Sequence-model twin of
+        :meth:`repro.encoding.base.Encoder.encode_batch_packed`: returns
+        ``(B, ceil(D/64))`` uint64 rows bit-identical to word-packing
+        the binary :meth:`encode_batch` output (same tie stream), with
+        the dense int8 sign matrix fused away.
+        """
+        arr = self._check_batch(seqs)
+        return pack_signs(
+            self._accumulate_batch(arr, chunk_size, memory_budget), self._tie_rng
+        )

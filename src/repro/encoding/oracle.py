@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.encoding.base import Encoder
+from repro.errors import ConfigurationError
 
 
 class EncodingOracle:
@@ -70,4 +71,28 @@ class EncodingOracle:
             binary=self.binary,
             chunk_size=chunk_size,
             memory_budget=memory_budget,
+        )
+
+    def query_batch_packed(
+        self,
+        samples: np.ndarray,
+        chunk_size: int | None = None,
+        memory_budget: int | None = None,
+    ) -> np.ndarray:
+        """Encode a batch and return packed uint64 bit-planes directly.
+
+        Only available on binary deployments — the packed bus *is* the
+        binary output format (a real device's memory holds exactly these
+        words), so a non-binary oracle has nothing packed to expose.
+        Counted per sample like :meth:`query_batch`; bit-identical to
+        word-packing the dense responses, including tie-breaks.
+        """
+        if not self.binary:
+            raise ConfigurationError(
+                "packed queries are only defined for binary oracles"
+            )
+        arr = np.asarray(samples)
+        self.n_queries += int(arr.shape[0])
+        return self._encoder.encode_batch_packed(
+            arr, chunk_size=chunk_size, memory_budget=memory_budget
         )

@@ -113,12 +113,14 @@ def render_fig7(result: Fig7Result) -> str:
         ],
         title="Fig. 7a — guesses per feature vs D and P (L = 2)",
     )
-    layer_values = sorted({l for curve in result.curves_7b.values() for l, _ in curve})
+    layer_values = sorted(
+        {depth for curve in result.curves_7b.values() for depth, _ in curve}
+    )
     table_b = render_table(
-        ["P \\ L"] + [str(l) for l in layer_values],
+        ["P \\ L"] + [str(depth) for depth in layer_values],
         [
             [f"P={p}"]
-            + [format_quantity(float(dict(curve)[l])) for l in layer_values]
+            + [format_quantity(float(dict(curve)[depth])) for depth in layer_values]
             for p, curve in sorted(result.curves_7b.items())
         ],
         title="Fig. 7b — guesses per feature vs layers L (D = 10,000)",

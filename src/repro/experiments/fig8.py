@@ -132,14 +132,14 @@ def render_fig8(result: Fig8Result) -> str:
             )
             rows.append(
                 [name.upper()]
-                + [f"{curve[l]:.4f}" for l in layer_values]
+                + [f"{curve[depth]:.4f}" for depth in layer_values]
                 + [f"{paper_acc:.4f}" if paper_acc is not None else "-"]
             )
         flavor = "binary" if binary else "non-binary"
         sections.append(
             render_table(
                 ["benchmark"]
-                + [f"L={l}" for l in layer_values]
+                + [f"L={depth}" for depth in layer_values]
                 + ["paper (L=0)"],
                 rows,
                 title=f"Fig. 8 — accuracy vs key depth, {flavor} record encoding",

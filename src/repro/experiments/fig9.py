@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.data.benchmarks import BENCHMARK_ORDER, BENCHMARKS
-from repro.experiments.config import DEFAULT_SEED, ExperimentScale, active_scale
+from repro.experiments.config import DEFAULT_SEED, ExperimentScale
 from repro.hardware.datapath import DatapathConfig
 from repro.hardware.encoder_cost import encoding_cycles, relative_time_series
 from repro.utils.tables import render_table
@@ -71,24 +71,26 @@ def run_fig9(
 def render_fig9(result: Fig9Result) -> str:
     """Benchmark rows, L columns, plus the paper's L=2 reference."""
     layer_values = sorted(
-        {l for curve in result.curves.values() for l, _ in curve}
+        {depth for curve in result.curves.values() for depth, _ in curve}
     )
     rows = []
     for name, curve in result.curves.items():
         series = dict(curve)
         rows.append(
             [name.upper(), str(result.baseline_cycles[name])]
-            + [f"{series[l]:.3f}" for l in layer_values]
+            + [f"{series[depth]:.3f}" for depth in layer_values]
         )
     rows.append(
         ["(paper)", "-"]
         + [
-            "1.000" if l == 1 else (f"{PAPER_L2_OVERHEAD:.3f}" if l == 2 else "-")
-            for l in layer_values
+            "1.000"
+            if depth == 1
+            else (f"{PAPER_L2_OVERHEAD:.3f}" if depth == 2 else "-")
+            for depth in layer_values
         ]
     )
     return render_table(
-        ["benchmark", "baseline cycles"] + [f"L={l}" for l in layer_values],
+        ["benchmark", "baseline cycles"] + [f"L={depth}" for depth in layer_values],
         rows,
         title=(
             f"Fig. 9 — relative encoding time vs key depth "

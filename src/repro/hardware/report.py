@@ -10,7 +10,6 @@ adjust them in one place.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.hardware.adder_tree import accumulator_width_bits, adder_count

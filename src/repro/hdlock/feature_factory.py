@@ -50,7 +50,7 @@ def derive_feature_matrix(pool: np.ndarray, key: LockKey) -> np.ndarray:
         )
     indices, rotations = key.to_arrays()
     product = np.ones((key.n_features, key.dim), dtype=BIPOLAR_DTYPE)
-    for l in range(key.layers):
-        layer = permute_rows(mat[indices[:, l]], rotations[:, l])
+    for step in range(key.layers):
+        layer = permute_rows(mat[indices[:, step]], rotations[:, step])
         product = np.multiply(product, layer, dtype=BIPOLAR_DTYPE)
     return product

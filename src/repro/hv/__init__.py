@@ -6,6 +6,7 @@ module, :mod:`repro.attack` inverts them, and :mod:`repro.hdlock` uses
 them to derive locked feature hypervectors.
 """
 
+from repro.hv.bitslice import CarrySaveAccumulator, bitsliced_accumulate
 from repro.hv.capacity import (
     CapacityPoint,
     capacity,
@@ -32,12 +33,18 @@ from repro.hv.ops import (
     stack,
 )
 from repro.hv.packing import (
+    PACKED_WORD_DTYPE,
     PackedPool,
     hamming_packed,
     pack,
+    pack_signs,
+    pack_words,
     packed_hamming,
+    packed_word_width,
     pairwise_hamming_packed,
+    sign_bits,
     unpack,
+    unpack_words,
 )
 from repro.hv.properties import (
     LevelLinearityReport,
@@ -89,10 +96,18 @@ __all__ = [
     "pairwise_hamming",
     "pack",
     "unpack",
+    "pack_words",
+    "unpack_words",
+    "pack_signs",
+    "sign_bits",
+    "packed_word_width",
+    "PACKED_WORD_DTYPE",
     "hamming_packed",
     "packed_hamming",
     "pairwise_hamming_packed",
     "PackedPool",
+    "CarrySaveAccumulator",
+    "bitsliced_accumulate",
     "OrthogonalityReport",
     "LevelLinearityReport",
     "orthogonality_report",

@@ -22,8 +22,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.errors import ConfigurationError
 from repro.hv.ops import bundle, sign
 from repro.hv.random import random_pool

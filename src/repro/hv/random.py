@@ -36,7 +36,9 @@ def random_pool(count: int, dim: int = DEFAULT_DIM, rng: SeedLike = None) -> np.
     return (2 * bits - 1).astype(BIPOLAR_DTYPE)
 
 
-def shuffled_copy(pool: np.ndarray, rng: SeedLike = None) -> tuple[np.ndarray, np.ndarray]:
+def shuffled_copy(
+    pool: np.ndarray, rng: SeedLike = None
+) -> tuple[np.ndarray, np.ndarray]:
     """Return a row-shuffled copy of ``pool`` plus the permutation used.
 
     This models publishing the *unindexed* hypervector memory of the

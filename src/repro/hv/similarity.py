@@ -159,10 +159,13 @@ def nearest_batch(
         return np.empty(0, dtype=np.int64)
     if metric == "hamming":
         if is_bipolar(pool_arr) and is_bipolar(targets_arr):
-            from repro.hv.packing import pack, pairwise_hamming_packed
+            from repro.hv.packing import pack_words, pairwise_hamming_packed
 
             distances = pairwise_hamming_packed(
-                pack(targets_arr), pack(pool_arr), pool_arr.shape[1], chunk_size
+                pack_words(targets_arr),
+                pack_words(pool_arr),
+                pool_arr.shape[1],
+                chunk_size,
             )
         else:
             distances = np.stack([hamming(pool_arr, t) for t in targets_arr])

@@ -20,7 +20,7 @@ import numpy as np
 from repro.encoding.base import Encoder
 from repro.errors import ConfigurationError, DimensionMismatchError
 from repro.hv.ops import sign
-from repro.hv.packing import pack, pairwise_hamming_packed
+from repro.hv.packing import pack_words, pairwise_hamming_packed
 from repro.hv.similarity import cosine, cosine_matrix, hamming
 from repro.utils.rng import SeedLike, resolve_rng
 
@@ -51,8 +51,9 @@ class HDClassifier:
         # drawn once per training state: a deployed binary model's class
         # hypervectors are fixed bits, not re-randomized per query.
         self._binary_classes: Optional[np.ndarray] = None
-        # Bit-packed view of the binary class memory, invalidated with
-        # it; inference XOR-popcounts queries against this.
+        # Word-packed (uint64 bit-plane) view of the binary class
+        # memory, invalidated with it; inference XOR-popcounts packed
+        # queries against this without ever unpacking either side.
         self._packed_classes: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
@@ -128,8 +129,15 @@ class HDClassifier:
         labels_arr = self._check_labels(labels, encoded.shape[0])
         history: list[float] = []
         encoded_f = encoded.astype(np.float64)
+        # Binary models score every epoch against the same encoded
+        # batch: pack it once and reuse the bit-planes — the class
+        # memory re-packs per epoch (it changes), the queries never do.
+        packed_encoded = pack_words(encoded) if self.binary else None
         for _ in range(epochs):
-            predictions = self._predict_encoded(encoded)
+            if packed_encoded is not None:
+                predictions = self._predict_packed(packed_encoded)
+            else:
+                predictions = self._predict_encoded(encoded)
             wrong = np.flatnonzero(predictions != labels_arr)
             if wrong.size:
                 updates = learning_rate * encoded_f[wrong]
@@ -158,29 +166,51 @@ class HDClassifier:
             return self._binary_classes
         return self._accums
 
-    def _predict_encoded(self, encoded: np.ndarray) -> np.ndarray:
+    def _predict_packed(self, packed_encoded: np.ndarray) -> np.ndarray:
+        """Nearest class for word-packed queries — the binary hot path.
+
+        Both operands stay in the uint64 bit-plane domain end to end:
+        (B, C) Hamming distances come from one XOR-popcount pass against
+        the cached packed class memory. Identical mismatch counts to the
+        dense comparison (both sides are bipolar), so nearest-class
+        decisions are unchanged.
+        """
         classes = self.class_matrix
+        if packed_encoded.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
+        if self._packed_classes is None:
+            self._packed_classes = pack_words(classes)
+        distances = pairwise_hamming_packed(
+            packed_encoded, self._packed_classes, self.encoder.dim
+        )
+        return np.argmin(distances, axis=1)
+
+    def _predict_encoded(self, encoded: np.ndarray) -> np.ndarray:
         if encoded.shape[0] == 0:
             return np.empty(0, dtype=np.int64)
         if self.binary:
-            # (B, C) Hamming distances through the packed XOR-popcount
-            # kernel; the packed class memory is cached per training
-            # state. Identical mismatch counts to the dense comparison
-            # (both operands are bipolar), so nearest-class decisions
-            # are unchanged.
-            if self._packed_classes is None:
-                self._packed_classes = pack(classes)
-            distances = pairwise_hamming_packed(
-                pack(encoded), self._packed_classes, self.encoder.dim
-            )
-            return np.argmin(distances, axis=1)
+            # Dense-encoded entry point (callers holding an int8 batch):
+            # one word-pack, then the shared packed path — no unpacking
+            # anywhere downstream.
+            return self._predict_packed(pack_words(encoded))
         # Non-binary: one (B, C) cosine matrix via BLAS instead of B
         # vector passes.
-        return np.argmax(cosine_matrix(encoded, classes), axis=1)
+        return np.argmax(cosine_matrix(encoded, self.class_matrix), axis=1)
 
     def predict(self, samples: np.ndarray) -> np.ndarray:
-        """Predict class labels for a ``(B, N)`` batch of level vectors."""
-        encoded = self.encoder.encode_batch(np.asarray(samples), binary=self.binary)
+        """Predict class labels for a ``(B, N)`` batch of level vectors.
+
+        Binary models run fully packed: the encoder's fused
+        ``encode_batch_packed`` emits uint64 bit-planes and nearest-class
+        search XOR-popcounts them against the packed class memory —
+        zero pack/unpack round-trips between encoding and decision.
+        """
+        arr = np.asarray(samples)
+        if self.binary:
+            encode_packed = getattr(self.encoder, "encode_batch_packed", None)
+            if encode_packed is not None:
+                return self._predict_packed(encode_packed(arr))
+        encoded = self.encoder.encode_batch(arr, binary=self.binary)
         return self._predict_encoded(encoded)
 
     def similarity_profile(self, sample: np.ndarray) -> np.ndarray:

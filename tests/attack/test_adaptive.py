@@ -1,6 +1,5 @@
 """Tests for the exhaustive single-layer key-recovery attack."""
 
-import numpy as np
 import pytest
 
 from repro.attack.adaptive import (

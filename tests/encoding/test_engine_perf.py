@@ -1,10 +1,15 @@
-"""Performance acceptance gate for the batch-encoding engine.
+"""Performance acceptance gates for the batch-encoding engine.
 
 Marked ``slow`` (run with ``pytest -m slow``) so tier-1 stays fast:
 wall-clock assertions belong in an explicit performance pass, not the
-default suite. The threshold deliberately sits far below the measured
-speedup (~20x on a single core at this shape) so scheduler noise cannot
-flake it.
+default suite. Thresholds deliberately sit far below the measured
+speedups so scheduler noise cannot flake them:
+
+* batch engine vs per-sample reference — ~20x measured, gate 5x;
+* fused packed path vs PR 1's dense-binarize-then-pack row overhead —
+  ~2.5x measured, gate 2x;
+* bit-sliced fallback vs the retained per-sample einsum —
+  ~5x measured, gate 2x.
 """
 
 from __future__ import annotations
@@ -16,6 +21,36 @@ import pytest
 
 from repro.encoding.engine import encode_batch_reference
 from repro.encoding.record import RecordEncoder
+from repro.hv.packing import pack_words
+from repro.hv.random import random_pool
+from repro.memory.item_memory import FeatureMemory, LevelMemory
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _best_of_interleaved(fns, rounds: int = 9) -> list[float]:
+    """Round-robin best-of timing for several callables.
+
+    Alternating the candidates inside each round means a noise burst
+    (scheduler, memory pressure) inflates all of them together, and the
+    per-callable min lands on a quiet round for every pipeline — far
+    more stable on busy machines than timing each callable in its own
+    contiguous block.
+    """
+    bests = [float("inf")] * len(fns)
+    for _ in range(rounds):
+        for i, fn in enumerate(fns):
+            start = time.perf_counter()
+            fn()
+            bests[i] = min(bests[i], time.perf_counter() - start)
+    return bests
 
 
 @pytest.mark.slow
@@ -47,3 +82,133 @@ def test_paper_scale_batch_speedup_at_least_5x():
     np.testing.assert_array_equal(got, want)
     speedup = reference_seconds / best
     assert speedup >= 5.0, f"engine only {speedup:.1f}x faster than reference"
+
+
+@pytest.mark.slow
+def test_packed_row_overhead_reduced_at_least_2x():
+    """The fused packed path halves PR 1's per-row D-bound overhead.
+
+    Steady-state binary encoding at D = 10,000 was dominated by D-sized
+    row traffic on top of the level matmuls (ROADMAP, PR 1 follow-up):
+    PR 1's pipeline repeated the base term into a fresh array, cast the
+    float accumulator to int64, binarized into an int8 matrix, and
+    consumers packed that again. The gate reconstructs that exact
+    pipeline from the current plan's operands, times it against the
+    fused packed path (in-place sign -> uint64 bit-planes), subtracts
+    the matmul-only floor both share, and requires the remaining
+    per-row overhead to drop by >= 2x (measured ~2.5x; the current
+    dense path also got faster, so it is printed for reference only).
+
+    N is odd so accumulations — sums of N odd terms — can never tie at
+    zero: both pipelines' identical per-row tie-draw loops drop out and
+    the gate isolates exactly the D-pass row traffic it is about.
+    """
+    n_features, levels, dim, batch = 63, 16, 10_000, 512
+    samples = np.random.default_rng(0).integers(0, levels, (batch, n_features))
+
+    def fresh():
+        encoder = RecordEncoder.random(n_features, levels, dim, rng=1)
+        encoder.plan  # compile outside every timed region
+        return encoder
+
+    parity_dense, parity_packed = fresh(), fresh()
+    np.testing.assert_array_equal(
+        parity_packed.encode_batch_packed(samples),
+        pack_words(parity_dense.encode_batch(samples, binary=True)),
+    )
+
+    plan = fresh().plan
+
+    def pr1_accumulate(block):
+        # PR 1's _accumulate_blas, verbatim: fresh base repeat, scatter,
+        # int64 cast — the row passes the fused path eliminates.
+        out = np.repeat(plan._base[None, :], block.shape[0], axis=0)
+        for m in range(1, plan.levels):
+            support = plan.supports[m - 1]
+            if support.size == 0:
+                continue
+            indicator = (block >= m).astype(plan._float_dtype)
+            contribution = indicator @ plan._fea_cols[m - 1]
+            contribution *= plan._dval_rows[m - 1]
+            out[:, support] += contribution
+        return out.astype(np.int64)
+
+    def pr1_pipeline():
+        # accumulate -> int64 -> dense int8 signs -> packed, exactly the
+        # PR 1 predict feed (binarize_batch + a consumer-side pack).
+        from repro.encoding.engine import binarize_batch
+
+        rng = np.random.default_rng(99)
+        pack_words(binarize_batch(pr1_accumulate(samples), rng))
+
+    def matmul_floor():
+        # The level-difference matmuls both pipelines run, without the
+        # base init / scatter / binarize / pack row passes.
+        for m in range(1, plan.levels):
+            support = plan.supports[m - 1]
+            if support.size == 0:
+                continue
+            indicator = (samples >= m).astype(plan._float_dtype)
+            contribution = indicator @ plan._fea_cols[m - 1]
+            contribution *= plan._dval_rows[m - 1]
+
+    dense_encoder = fresh()
+    packed_encoder = fresh()
+
+    floor_seconds, pr1_seconds, dense_seconds, packed_seconds = _best_of_interleaved(
+        [
+            matmul_floor,
+            pr1_pipeline,
+            lambda: pack_words(dense_encoder.encode_batch(samples, binary=True)),
+            lambda: packed_encoder.encode_batch_packed(samples),
+        ]
+    )
+
+    pr1_overhead = pr1_seconds - floor_seconds
+    packed_overhead = packed_seconds - floor_seconds
+    assert pr1_overhead > 0 and packed_overhead > 0, (
+        f"degenerate timing: floor {floor_seconds:.4f}s, "
+        f"pr1 {pr1_seconds:.4f}s, packed {packed_seconds:.4f}s"
+    )
+    reduction = pr1_overhead / packed_overhead
+    print(
+        f"\n[row-overhead] PR1 {pr1_overhead * 1e6 / batch:.0f} us/row | "
+        f"current dense+pack {(dense_seconds - floor_seconds) * 1e6 / batch:.0f} "
+        f"us/row | fused packed {packed_overhead * 1e6 / batch:.0f} us/row | "
+        f"PR1/fused {reduction:.2f}x"
+    )
+    assert reduction >= 2.0, (
+        f"fused packed path only cut PR 1's per-row overhead {reduction:.2f}x "
+        f"(PR1 {pr1_overhead * 1e6 / batch:.0f} us/row vs packed "
+        f"{packed_overhead * 1e6 / batch:.0f} us/row over a "
+        f"{floor_seconds * 1e6 / batch:.0f} us/row matmul floor)"
+    )
+
+
+@pytest.mark.slow
+def test_bitslice_fallback_speedup_at_least_2x():
+    """The batched bit-sliced kernel beats the retained per-sample loop.
+
+    Non-linear level memories used to drop to a per-sample integer
+    einsum; they now run the carry-save bit-plane kernel (~5x measured
+    at this shape), bit-exactly.
+    """
+    n_features, levels, dim, batch = 64, 32, 10_000, 128
+    feature = FeatureMemory(random_pool(n_features, dim, rng=2))
+    level = LevelMemory(random_pool(levels, dim, rng=1))
+    encoder = RecordEncoder(feature, level, rng=3)
+    plan = encoder.plan
+    assert plan.mode == "bitslice"
+    samples = np.random.default_rng(4).integers(0, levels, (batch, n_features))
+
+    got = plan.accumulate(samples)
+    want = plan._accumulate_einsum(samples)
+    np.testing.assert_array_equal(got, want)
+
+    bitslice_seconds = _best_of(lambda: plan.accumulate(samples))
+    reference_seconds = _best_of(lambda: plan._accumulate_einsum(samples))
+    speedup = reference_seconds / bitslice_seconds
+    assert speedup >= 2.0, (
+        f"bit-sliced kernel only {speedup:.1f}x faster than the "
+        f"per-sample einsum reference"
+    )

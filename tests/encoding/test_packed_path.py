@@ -1,0 +1,269 @@
+"""End-to-end tests of the fused packed-domain hot path.
+
+Three properties pin the PR's refactor:
+
+* **parity** — ``encode_batch_packed`` is bit-identical to word-packing
+  the dense binary ``encode_batch`` output, for every plan mode
+  (blas / bitslice / einsum-reference shapes), odd dimensions, chunk
+  boundaries, and the shared sign(0) tie stream;
+* **vectorized fallback** — level memories that used to hit the
+  per-sample einsum loop now run the batched bit-sliced kernel and stay
+  bit-exact against the retained per-sample reference;
+* **zero round-trips** — binary classifier inference and attack pool
+  scoring never call the dense binarize / byte-pack / unpack helpers
+  once their caches are warm: encodings flow as uint64 bit-planes from
+  the engine to the XOR-popcount kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.encoding.base as encoding_base
+import repro.model.classifier as classifier_mod
+from repro.encoding.ngram import NGramEncoder
+from repro.encoding.oracle import EncodingOracle
+from repro.encoding.record import RecordEncoder
+from repro.errors import ConfigurationError
+from repro.hdlock.lock import create_locked_encoder
+from repro.hv.packing import PACKED_WORD_DTYPE, pack_words
+from repro.hv.random import random_pool
+from repro.memory.item_memory import FeatureMemory, LevelMemory
+from repro.model.classifier import HDClassifier
+
+ODD_DIM = 251
+
+
+def _record(dim: int):
+    return RecordEncoder.random(n_features=13, levels=6, dim=dim, rng=424242)
+
+
+def _locked(dim: int):
+    return create_locked_encoder(
+        n_features=11, levels=5, dim=dim, layers=2, rng=987
+    ).encoder
+
+
+def _bitslice(dim: int):
+    feature = FeatureMemory(random_pool(9, dim, rng=31))
+    level = LevelMemory(random_pool(32, dim, rng=32))
+    return RecordEncoder(feature, level, rng=33)
+
+
+ENCODERS = {
+    "record-odd-dim": lambda: _record(ODD_DIM),
+    "record-even-dim": lambda: _record(256),
+    "locked-two-layer": lambda: _locked(ODD_DIM),
+    "bitslice-nonlinear-levels": lambda: _bitslice(ODD_DIM),
+}
+
+
+def _samples(encoder, batch: int, seed: int = 7) -> np.ndarray:
+    gen = np.random.default_rng(seed)
+    return gen.integers(0, encoder.levels, size=(batch, encoder.n_features))
+
+
+class TestPackedParity:
+    @pytest.mark.parametrize("name", sorted(ENCODERS))
+    @pytest.mark.parametrize("batch", [0, 1, 7, 33])
+    def test_packed_equals_dense_then_pack(self, name, batch):
+        packed_side, dense_side = ENCODERS[name](), ENCODERS[name]()
+        samples = _samples(packed_side, batch)
+        got = packed_side.encode_batch_packed(samples)
+        want = pack_words(dense_side.encode_batch(samples, binary=True))
+        assert got.dtype == PACKED_WORD_DTYPE
+        np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 5, 64])
+    def test_chunk_boundaries(self, chunk_size):
+        packed_side = ENCODERS["record-odd-dim"]()
+        dense_side = ENCODERS["record-odd-dim"]()
+        samples = _samples(packed_side, 33)
+        got = packed_side.encode_batch_packed(samples, chunk_size=chunk_size)
+        want = pack_words(dense_side.encode_batch(samples, binary=True))
+        np.testing.assert_array_equal(got, want)
+
+    def test_tiny_memory_budget(self):
+        packed_side = ENCODERS["bitslice-nonlinear-levels"]()
+        dense_side = ENCODERS["bitslice-nonlinear-levels"]()
+        samples = _samples(packed_side, 9)
+        got = packed_side.encode_batch_packed(samples, memory_budget=1)
+        want = pack_words(dense_side.encode_batch(samples, binary=True))
+        np.testing.assert_array_equal(got, want)
+
+    def test_tie_stream_shared_with_dense_path(self):
+        # A packed encode advances the tie rng exactly like a dense
+        # binary encode: interleaving the two entry points on one
+        # encoder stays aligned with a dense-only twin.
+        def build():
+            return RecordEncoder.random(n_features=4, levels=2, dim=ODD_DIM, rng=55)
+
+        mixed, dense = build(), build()
+        first = _samples(mixed, 11, seed=2)
+        second = _samples(mixed, 6, seed=3)
+        np.testing.assert_array_equal(
+            mixed.encode_batch_packed(first),
+            pack_words(dense.encode_batch(first, binary=True)),
+        )
+        np.testing.assert_array_equal(
+            mixed.encode_batch(second, binary=True),
+            dense.encode_batch(second, binary=True),
+        )
+
+    def test_encode_packed_single(self):
+        packed_side = ENCODERS["record-even-dim"]()
+        dense_side = ENCODERS["record-even-dim"]()
+        sample = _samples(packed_side, 1)[0]
+        np.testing.assert_array_equal(
+            packed_side.encode_packed(sample),
+            pack_words(dense_side.encode(sample, binary=True)),
+        )
+
+    def test_ngram_packed_parity(self):
+        def build():
+            return NGramEncoder(random_pool(7, ODD_DIM, rng=4), n=3, rng=21)
+
+        packed_side, dense_side = build(), build()
+        seqs = np.random.default_rng(5).integers(0, 7, size=(6, 17))
+        np.testing.assert_array_equal(
+            packed_side.encode_batch_packed(seqs, chunk_size=4),
+            pack_words(dense_side.encode_batch(seqs, binary=True)),
+        )
+
+
+class TestVectorizedFallback:
+    """The old per-sample einsum fallback now runs batched (bit-sliced)."""
+
+    @pytest.mark.parametrize("dim", [64, ODD_DIM, 1027])
+    @pytest.mark.parametrize("batch", [1, 7, 33])
+    def test_bit_exact_vs_per_sample_reference(self, dim, batch):
+        encoder = _bitslice(dim)
+        assert encoder.plan.mode == "bitslice"
+        samples = _samples(encoder, batch)
+        got = encoder.plan.accumulate(samples)
+        want = encoder.plan._accumulate_einsum(samples)
+        np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("chunk_size", [1, 4, 5, 64])
+    def test_chunk_boundaries(self, chunk_size):
+        encoder = _bitslice(ODD_DIM)
+        samples = _samples(encoder, 17)
+        np.testing.assert_array_equal(
+            encoder.plan.accumulate(samples, chunk_size=chunk_size),
+            encoder.plan._accumulate_einsum(samples),
+        )
+
+    def test_einsum_reference_mode_retained_for_nonbipolar(self):
+        # Magnitude-2 level entries defeat both the float bound at this
+        # scale and the bipolar gate, so the exact per-sample loop stays
+        # reachable (and is what the plan falls back to).
+        dim = 64
+        gen = np.random.default_rng(8)
+        level = LevelMemory(
+            (2 * gen.integers(0, 2, (40, dim)) - 1).astype(np.int64) * 2**28
+        )
+        feature = FeatureMemory(random_pool(6, dim, rng=9))
+        encoder = RecordEncoder(feature, level, rng=10)
+        assert encoder.plan.mode == "einsum"
+        samples = _samples(encoder, 5)
+        np.testing.assert_array_equal(
+            encoder.plan.accumulate(samples),
+            encoder.plan._accumulate_einsum(samples),
+        )
+
+
+class TestZeroRoundTrips:
+    """Dtype-flow and kernel-call-count assertions for the hot path."""
+
+    def _trained_model(self, encoder_factory=None):
+        encoder = (encoder_factory or (lambda: _record(ODD_DIM)))()
+        gen = np.random.default_rng(17)
+        samples = gen.integers(0, encoder.levels, (40, encoder.n_features))
+        labels = gen.integers(0, 3, 40)
+        model = HDClassifier(encoder, n_classes=3, binary=True, rng=8)
+        model.fit(samples, labels)
+        return model, samples
+
+    def test_predict_flows_packed_end_to_end(self, monkeypatch):
+        model, samples = self._trained_model()
+        model.predict(samples)  # warm the packed class-memory cache
+
+        def boom(name):
+            def _fail(*args, **kwargs):
+                raise AssertionError(f"{name} called on the packed hot path")
+
+            return _fail
+
+        # No dense binarize, no byte-layout pack, no unpack, and no
+        # re-pack of the cached class memory during steady-state predict.
+        monkeypatch.setattr(encoding_base, "binarize_batch", boom("binarize_batch"))
+        monkeypatch.setattr(classifier_mod, "pack_words", boom("pack_words"))
+        monkeypatch.setattr("repro.hv.packing.unpack", boom("unpack"))
+        monkeypatch.setattr("repro.hv.packing.unpack_words", boom("unpack_words"))
+        predictions = model.predict(samples)
+        assert predictions.shape == (40,)
+
+    def test_predict_matches_dense_reference_flow(self):
+        model, samples = self._trained_model()
+        packed_predictions = model.predict(samples)
+        dense_twin, dense_samples = self._trained_model()
+        encoded = dense_twin.encoder.encode_batch(dense_samples, binary=True)
+        np.testing.assert_array_equal(
+            packed_predictions, dense_twin._predict_encoded(encoded)
+        )
+
+    def test_locked_encoder_inference_flows_packed(self, monkeypatch):
+        model, samples = self._trained_model(lambda: _locked(ODD_DIM))
+        model.predict(samples)
+        monkeypatch.setattr(encoding_base, "binarize_batch", boom_any)
+        monkeypatch.setattr(classifier_mod, "pack_words", boom_any)
+        assert model.predict(samples).shape == (40,)
+
+    def test_packed_class_memory_dtype(self):
+        model, samples = self._trained_model()
+        model.predict(samples)
+        assert model._packed_classes is not None
+        assert model._packed_classes.dtype == PACKED_WORD_DTYPE
+        assert model.encoder.encode_batch_packed(samples).dtype == PACKED_WORD_DTYPE
+
+    def test_attack_scoring_stays_packed(self, monkeypatch):
+        from repro.attack.hdlock_attack import (
+            observe_difference,
+            score_guess,
+            score_guesses,
+        )
+        from repro.attack.threat_model import expose_locked_model
+
+        system = create_locked_encoder(6, 4, 128, layers=1, rng=3)
+        surface, _ = expose_locked_model(system.encoder)
+        observation = observe_difference(surface, feature=0)
+        guesses = [system.key.subkeys[0], system.key.subkeys[1]]
+        monkeypatch.setattr("repro.hv.packing.unpack", boom_any)
+        monkeypatch.setattr("repro.hv.packing.unpack_words", boom_any)
+        scores = score_guesses(surface, observation, guesses)
+        np.testing.assert_allclose(
+            scores,
+            [score_guess(surface, observation, g) for g in guesses],
+        )
+        assert scores[0] == pytest.approx(0.0)
+
+    def test_oracle_packed_queries(self):
+        encoder = ENCODERS["record-odd-dim"]()
+        dense_side = ENCODERS["record-odd-dim"]()
+        oracle = EncodingOracle(encoder, binary=True)
+        samples = _samples(encoder, 8)
+        got = oracle.query_batch_packed(samples, chunk_size=3)
+        np.testing.assert_array_equal(
+            got, pack_words(dense_side.encode_batch(samples, binary=True))
+        )
+        assert oracle.n_queries == 8
+
+    def test_oracle_packed_queries_require_binary(self):
+        oracle = EncodingOracle(ENCODERS["record-odd-dim"](), binary=False)
+        with pytest.raises(ConfigurationError):
+            oracle.query_batch_packed(np.zeros((1, 13), dtype=np.int64))
+
+
+def boom_any(*args, **kwargs):
+    raise AssertionError("dense pack/unpack helper called on the packed hot path")

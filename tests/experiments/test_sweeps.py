@@ -1,7 +1,5 @@
 """Tests for the attack operating-envelope sweeps."""
 
-import pytest
-
 from repro.experiments.sweeps import (
     margin_vs_features,
     recovery_vs_dim,

@@ -1,0 +1,88 @@
+"""Tests for the carry-save bit-sliced multiply-accumulate kernel."""
+
+import numpy as np
+import pytest
+
+from repro.hv.bitslice import CarrySaveAccumulator, bitsliced_accumulate
+from repro.hv.packing import PACKED_WORD_DTYPE, pack_words
+from repro.hv.random import random_pool
+
+
+def _einsum_reference(lev, fea, samples):
+    out = np.empty((samples.shape[0], lev.shape[1]), dtype=np.int64)
+    for b in range(samples.shape[0]):
+        out[b] = np.einsum(
+            "nd,nd->d",
+            lev[samples[b]].astype(np.int32),
+            fea.astype(np.int32),
+            dtype=np.int64,
+        )
+    return out
+
+
+def _accumulate(lev, fea, samples):
+    return bitsliced_accumulate(
+        pack_words(lev), np.bitwise_not(pack_words(fea)), samples, lev.shape[1]
+    )
+
+
+class TestCarrySaveAccumulator:
+    @pytest.mark.parametrize("n_planes", [0, 1, 2, 3, 7, 64, 100])
+    def test_counts_match_dense_sum(self, n_planes):
+        # Random bit-planes over 2 rows x 130 bits (3 words, pad bits).
+        gen = np.random.default_rng(n_planes)
+        dim, rows = 130, 2
+        dense = gen.integers(0, 2, size=(n_planes, rows, dim), dtype=np.uint8)
+        acc = CarrySaveAccumulator()
+        for k in range(n_planes):
+            acc.add(pack_words(2 * dense[k].astype(np.int16) - 1))
+        assert acc.planes_added == n_planes
+        np.testing.assert_array_equal(
+            acc.counts(rows, dim), dense.sum(axis=0, dtype=np.int32)
+        )
+
+    def test_bucket_occupancy_stays_bounded(self):
+        acc = CarrySaveAccumulator()
+        plane = pack_words(np.ones((4, 65), dtype=np.int8))
+        for _ in range(200):
+            acc.add(plane.copy())
+            assert all(len(bucket) <= 2 for bucket in acc._buckets)
+
+
+class TestBitslicedAccumulate:
+    @pytest.mark.parametrize("dim", [64, 100, 251, 1027])
+    def test_matches_einsum_reference(self, dim):
+        lev = random_pool(9, dim, rng=dim)
+        fea = random_pool(13, dim, rng=dim + 1)
+        samples = np.random.default_rng(dim + 2).integers(0, 9, (17, 13))
+        np.testing.assert_array_equal(
+            _accumulate(lev, fea, samples), _einsum_reference(lev, fea, samples)
+        )
+
+    def test_empty_batch(self):
+        lev, fea = random_pool(4, 96, rng=0), random_pool(5, 96, rng=1)
+        out = _accumulate(lev, fea, np.zeros((0, 5), dtype=np.int64))
+        assert out.shape == (0, 96)
+        assert out.dtype == np.int64
+
+    def test_single_feature(self):
+        # N = 1: the accumulation is just the selected level row times
+        # the lone feature row.
+        lev, fea = random_pool(3, 77, rng=2), random_pool(1, 77, rng=3)
+        samples = np.array([[0], [2], [1]])
+        want = lev[samples[:, 0]].astype(np.int64) * fea[0].astype(np.int64)
+        np.testing.assert_array_equal(_accumulate(lev, fea, samples), want)
+
+    def test_rejects_unpacked_level_matrix(self):
+        lev, fea = random_pool(3, 64, rng=4), random_pool(4, 64, rng=5)
+        with pytest.raises(TypeError):
+            bitsliced_accumulate(
+                lev, np.bitwise_not(pack_words(fea)), np.zeros((1, 4), int), 64
+            )
+
+    def test_output_dtype_is_uint64_bit_planes_in(self):
+        lev, fea = random_pool(3, 100, rng=6), random_pool(4, 100, rng=7)
+        packed = pack_words(lev)
+        assert packed.dtype == PACKED_WORD_DTYPE
+        out = _accumulate(lev, fea, np.zeros((2, 4), dtype=np.int64))
+        assert out.dtype == np.int64

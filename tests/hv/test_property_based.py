@@ -86,7 +86,12 @@ def test_pairwise_packed_matches_dense(dim, ka, kb, seed, chunk):
     np.testing.assert_array_equal(got, want)
 
 
-@given(st.integers(min_value=2, max_value=160), counts, seeds, st.integers(min_value=1, max_value=5))
+@given(
+    st.integers(min_value=2, max_value=160),
+    counts,
+    seeds,
+    st.integers(min_value=1, max_value=5),
+)
 @SETTINGS
 def test_pairwise_hamming_chunking_invariant(dim, count, seed, chunk):
     pool = random_pool(count, dim, rng=seed)

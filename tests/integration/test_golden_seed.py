@@ -48,7 +48,9 @@ def _digest(arr: np.ndarray) -> str:
 def test_record_encoder_digests():
     encoder = RecordEncoder.random(25, 8, 512, rng=1234)
     samples = np.random.default_rng(99).integers(0, 8, (12, 25))
-    assert _digest(encoder.encode_batch(samples, binary=True)) == GOLDEN["record-binary"]
+    assert (
+        _digest(encoder.encode_batch(samples, binary=True)) == GOLDEN["record-binary"]
+    )
     assert (
         _digest(encoder.encode_batch(samples, binary=False))
         == GOLDEN["record-nonbinary"]
@@ -58,14 +60,18 @@ def test_record_encoder_digests():
 def test_locked_encoder_digest():
     encoder = create_locked_encoder(15, 6, 512, layers=2, rng=77).encoder
     samples = np.random.default_rng(41).integers(0, 6, (9, 15))
-    assert _digest(encoder.encode_batch(samples, binary=True)) == GOLDEN["locked-binary"]
+    assert (
+        _digest(encoder.encode_batch(samples, binary=True)) == GOLDEN["locked-binary"]
+    )
 
 
 def test_ngram_encoder_digests():
     encoder = NGramEncoder(random_pool(7, 384, rng=5), n=3, rng=11)
     seqs = np.random.default_rng(3).integers(0, 7, (8, 20))
     assert _digest(encoder.encode_batch(seqs, binary=True)) == GOLDEN["ngram-binary"]
-    assert _digest(encoder.encode_batch(seqs, binary=False)) == GOLDEN["ngram-nonbinary"]
+    assert (
+        _digest(encoder.encode_batch(seqs, binary=False)) == GOLDEN["ngram-nonbinary"]
+    )
 
 
 def _training_data():
