@@ -1,7 +1,16 @@
 """Operating-envelope benches: where the Sec. 3 attack works and where
-reduced dimensionality erodes it (beyond the paper's figures)."""
+reduced dimensionality erodes it (beyond the paper's figures) — plus the
+suite-level acceptance bench for the parallel runner (warm-cache
+reduced-scale suite >= 2x faster at ``--jobs 4`` than serially on a
+4-core machine)."""
 
 from __future__ import annotations
+
+import contextlib
+import io
+import os
+
+import pytest
 
 from repro.experiments.config import DEFAULT_SEED
 from repro.experiments.sweeps import (
@@ -9,6 +18,7 @@ from repro.experiments.sweeps import (
     recovery_vs_dim,
     render_sweeps,
 )
+from repro.utils.timer import Timer
 
 
 def test_recovery_and_margin_sweeps(benchmark):
@@ -31,3 +41,66 @@ def test_recovery_and_margin_sweeps(benchmark):
     benchmark.extra_info["recovery"] = {
         p.dim: p.feature_accuracy for p in recovery
     }
+
+
+def _run_suite(jobs: int, tmp_path, tag: str, only: str | None) -> float:
+    """One full runner invocation; returns its wall-clock seconds.
+
+    Fresh ``--out`` per call (resume must not skip the work being
+    measured) but one shared ``--cache`` so every timed run sees the
+    same warm cache.
+    """
+    from repro.experiments.runner import main
+
+    argv = [
+        "--jobs",
+        str(jobs),
+        "--out",
+        str(tmp_path / tag),
+        "--cache",
+        str(tmp_path / "cache"),
+    ]
+    if only:
+        argv += ["--only", only]
+    with contextlib.redirect_stdout(io.StringIO()):
+        with Timer() as timer:
+            assert main(argv) == 0
+    return timer.elapsed
+
+
+def test_runner_suite_parallel_speedup(benchmark, quick, tmp_path):
+    """Acceptance: warm cache, full reduced suite, ``--jobs 4`` vs serial.
+
+    Quick mode shrinks to the analytic subset and only smoke-checks the
+    parallel path; the real >= 2x gate needs the full suite and at least
+    4 physical cores.
+    """
+    only = "fig7,fig9" if quick else None
+    # Warm-up run primes the shared cache (datasets, fig8 cells, the
+    # fig5/6 locked system) and is not timed.
+    _run_suite(4, tmp_path, "warmup", only)
+    serial = _run_suite(1, tmp_path, "serial", only)
+    parallel = benchmark.pedantic(
+        lambda: _run_suite(4, tmp_path, "parallel", only),
+        rounds=1,
+        iterations=1,
+    )
+    if parallel is None:  # --quick disables pytest-benchmark
+        parallel = _run_suite(4, tmp_path, "parallel-quick", only)
+    speedup = serial / max(parallel, 1e-9)
+    print()
+    print(
+        f"runner suite: serial {serial:.2f}s, --jobs 4 {parallel:.2f}s, "
+        f"speedup {speedup:.2f}x (cores: {os.cpu_count()})"
+    )
+    benchmark.extra_info["serial_seconds"] = serial
+    benchmark.extra_info["parallel_seconds"] = parallel
+    benchmark.extra_info["speedup"] = speedup
+    if quick:
+        return
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip("speedup gate needs >= 4 cores")
+    assert speedup >= 2.0, (
+        f"--jobs 4 only {speedup:.2f}x faster than serial "
+        f"(serial {serial:.2f}s, parallel {parallel:.2f}s)"
+    )

@@ -1,7 +1,9 @@
 """``python -m repro`` — convenience entry to the experiment runner.
 
 Equivalent to ``python -m repro.experiments.runner``; see that module
-for options (``--only``, ``--seed``, ``REPRO_FULL_SCALE=1``).
+for the full flag reference (``--only``, ``--seed``, ``--jobs``,
+``--format text|json``, ``--out DIR``, ``--cache DIR``/``--no-cache``,
+``REPRO_FULL_SCALE=1``), the artifact schema, and the exit codes.
 """
 
 from repro.experiments.runner import main

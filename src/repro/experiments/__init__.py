@@ -1,5 +1,15 @@
-"""Experiment modules — one per table/figure of the paper's evaluation."""
+"""Experiment modules — one per table/figure of the paper's evaluation.
 
+Each module returns structured result dataclasses with a stable
+``to_dict()``/``from_dict()`` schema; rendering to the paper-style text
+tables is a separate formatter. :mod:`repro.experiments.runner` fans the
+modules out over worker processes and writes them as deterministic JSON
+artifacts (see :mod:`repro.experiments.records`), deduplicating shared
+inputs through :mod:`repro.experiments.cache`.
+"""
+
+from repro.experiments.ablations import AblationsResult, run_ablations
+from repro.experiments.cache import DiskCache
 from repro.experiments.config import (
     FULL_SCALE,
     REDUCED_SCALE,
@@ -16,6 +26,11 @@ from repro.experiments.fig56 import (
 from repro.experiments.fig7 import Fig7Result, mnist_checkpoints, render_fig7, run_fig7
 from repro.experiments.fig8 import Fig8Cell, Fig8Result, render_fig8, run_fig8
 from repro.experiments.fig9 import Fig9Result, render_fig9, run_fig9
+from repro.experiments.records import (
+    SCHEMA_VERSION,
+    ExperimentRecord,
+)
+from repro.experiments.sweeps import SweepsResult, run_sweeps
 from repro.experiments.table1 import Table1Row, render_table1, run_table1
 
 # NOTE: repro.experiments.runner is intentionally not imported here so
@@ -48,4 +63,11 @@ __all__ = [
     "Fig9Result",
     "run_fig9",
     "render_fig9",
+    "AblationsResult",
+    "run_ablations",
+    "SweepsResult",
+    "run_sweeps",
+    "DiskCache",
+    "ExperimentRecord",
+    "SCHEMA_VERSION",
 ]

@@ -17,7 +17,8 @@ produces a small, assertable report:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -39,6 +40,12 @@ from repro.hv.ops import permute_rows
 from repro.hv.properties import level_linearity_report, orthogonality_report
 from repro.utils.rng import derive_seed, resolve_rng
 from repro.utils.tables import render_table
+
+#: Payload fields derived from wall-clock measurement; the runner strips
+#: them from the deterministic artifact (see ``records.split_volatile``).
+ABLATIONS_VOLATILE_FIELDS = frozenset(
+    {"measured_seconds", "projected_l2_seconds"}
+)
 
 
 @dataclass(frozen=True)
@@ -223,6 +230,70 @@ def single_layer_breakability(
         guesses=result.guesses,
         projected_l2_seconds=extrapolate_multi_layer_seconds(
             result, surface, 2
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class AblationsResult:
+    """All five design-choice ablations, bundled for the runner."""
+
+    leakage: ValueLockLeakage
+    layer_cost: LayerOneCost
+    synergy: PoolLayerSynergy
+    naive: NaiveAttackComparison
+    breakability: SingleLayerBreakability
+
+    def to_dict(self) -> dict[str, Any]:
+        """Stable artifact payload: one sub-object per ablation."""
+        return {
+            "leakage": asdict(self.leakage),
+            "layer_cost": asdict(self.layer_cost),
+            "synergy": asdict(self.synergy),
+            "naive": asdict(self.naive),
+            "breakability": asdict(self.breakability),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "AblationsResult":
+        """Inverse of :meth:`to_dict`; volatile timings default to 0."""
+        breakability = dict(payload["breakability"])
+        breakability.setdefault("measured_seconds", 0.0)
+        breakability.setdefault("projected_l2_seconds", 0.0)
+        return cls(
+            leakage=ValueLockLeakage(**payload["leakage"]),
+            layer_cost=LayerOneCost(**payload["layer_cost"]),
+            synergy=PoolLayerSynergy(**payload["synergy"]),
+            naive=NaiveAttackComparison(**payload["naive"]),
+            breakability=SingleLayerBreakability(**breakability),
+        )
+
+    def render(self) -> str:
+        """Combined ablation report (delegates to the panel renderer)."""
+        return render_ablations(
+            self.leakage,
+            self.layer_cost,
+            self.synergy,
+            self.naive,
+            self.breakability,
+        )
+
+
+def run_ablations(
+    scale: ExperimentScale | None = None,
+    seed: int = DEFAULT_SEED,
+) -> AblationsResult:
+    """Run all five ablations with independent derived sub-seeds."""
+    cfg = scale or active_scale()
+    return AblationsResult(
+        leakage=value_lock_leakage(seed=derive_seed(seed, "leakage")),
+        layer_cost=layer_one_is_free(),
+        synergy=pool_layer_synergy(),
+        naive=naive_attack_on_locked(
+            scale=cfg, seed=derive_seed(seed, "naive")
+        ),
+        breakability=single_layer_breakability(
+            seed=derive_seed(seed, "breakability")
         ),
     )
 

@@ -5,15 +5,21 @@ this reproduction usually runs on small CI-like machines, so every
 experiment accepts an :class:`ExperimentScale` and defaults to a reduced
 configuration that finishes in minutes while preserving every *shape*
 conclusion (who wins, by what factor, where trends bend). Setting the
-environment variable ``REPRO_FULL_SCALE=1`` switches the default to
-paper scale.
+environment variable ``REPRO_FULL_SCALE`` to a truthy value (``1``,
+``true``, ``yes``, ``on`` — case-insensitive) switches the default to
+paper scale; falsy values (empty, ``0``, ``false``, ``no``, ``off``)
+keep the reduced scale, and anything else raises
+:class:`~repro.errors.ConfigurationError` instead of being silently
+ignored.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping
 
+from repro.errors import ConfigurationError
 from repro.utils.rng import DEFAULT_SEED
 
 __all__ = [
@@ -44,6 +50,15 @@ class ExperimentScale:
     #: Sample fraction for the Fig. 8 sweep.
     fig8_sample_scale: float
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready field dict (artifact provenance / cache keys)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentScale":
+        """Rebuild a scale from :meth:`to_dict` output."""
+        return cls(**payload)
+
 
 REDUCED_SCALE = ExperimentScale(
     name="reduced",
@@ -66,8 +81,27 @@ FULL_SCALE = ExperimentScale(
 )
 
 
+#: Accepted spellings of the ``REPRO_FULL_SCALE`` switch (compared
+#: case-folded, surrounding whitespace ignored).
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+_FALSY = frozenset({"", "0", "false", "no", "off"})
+
+
 def active_scale() -> ExperimentScale:
-    """The default scale: full when ``REPRO_FULL_SCALE=1``, else reduced."""
-    if os.environ.get("REPRO_FULL_SCALE", "").strip() in ("1", "true", "yes"):
+    """The default scale: full when ``REPRO_FULL_SCALE`` is truthy.
+
+    Raises :class:`~repro.errors.ConfigurationError` on unrecognized
+    non-empty values — a misspelled switch must not silently fall back
+    to the reduced scale.
+    """
+    raw = os.environ.get("REPRO_FULL_SCALE", "")
+    value = raw.strip().casefold()
+    if value in _TRUTHY:
         return FULL_SCALE
-    return REDUCED_SCALE
+    if value in _FALSY:
+        return REDUCED_SCALE
+    raise ConfigurationError(
+        f"unrecognized REPRO_FULL_SCALE value {raw!r}; "
+        f"use one of {sorted(_TRUTHY)} for paper scale "
+        f"or {sorted(_FALSY - {''})} (or unset) for reduced scale"
+    )

@@ -12,6 +12,7 @@ Expected shape: the correct guess sits well below every wrong guess
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -49,6 +50,25 @@ class Fig3Result:
         """Smallest wrong distance minus the correct distance (> 0 means
         the correct mapping is uniquely identifiable)."""
         return float(self.wrong_distances.min() - self.correct_distance)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Stable artifact payload (full distance series included)."""
+        return {
+            "distances": np.asarray(self.distances, dtype=float).tolist(),
+            "correct_index": int(self.correct_index),
+            "attacked_feature": int(self.attacked_feature),
+            "binary": bool(self.binary),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Fig3Result":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            distances=np.asarray(payload["distances"], dtype=float),
+            correct_index=int(payload["correct_index"]),
+            attacked_feature=int(payload["attacked_feature"]),
+            binary=bool(payload["binary"]),
+        )
 
 
 def run_fig3(

@@ -16,10 +16,14 @@ the full ``(D * P)^L`` product, ``4.81e16`` tries for MNIST.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
 
 from repro.attack.hdlock_attack import SweepResult, sweep_parameter
 from repro.attack.threat_model import expose_locked_model
 from repro.data.benchmarks import benchmark_spec
+from repro.experiments.cache import DiskCache, cached
 from repro.experiments.config import DEFAULT_SEED, ExperimentScale, active_scale
 from repro.hdlock.lock import create_locked_encoder
 from repro.utils.tables import render_table
@@ -46,19 +50,72 @@ class Fig56Result:
         """True when every panel uniquely identifies the correct value."""
         return all(panel.separation > 0 for panel in self.panels)
 
+    def to_dict(self) -> dict[str, Any]:
+        """Stable artifact payload: one entry per sweep panel."""
+        return {
+            "binary": bool(self.binary),
+            "panels": [
+                {
+                    "parameter": panel.parameter,
+                    "layer": int(panel.layer),
+                    "metric": panel.metric,
+                    "candidates": np.asarray(panel.candidates).tolist(),
+                    "scores": np.asarray(
+                        panel.scores, dtype=float
+                    ).tolist(),
+                }
+                for panel in self.panels
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Fig56Result":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            binary=bool(payload["binary"]),
+            panels=tuple(
+                SweepResult(
+                    parameter=panel["parameter"],
+                    layer=int(panel["layer"]),
+                    metric=panel["metric"],
+                    candidates=np.asarray(panel["candidates"]),
+                    scores=np.asarray(panel["scores"], dtype=float),
+                )
+                for panel in payload["panels"]
+            ),
+        )
+
 
 def _run(
-    binary: bool, scale: ExperimentScale | None, seed: int
+    binary: bool,
+    scale: ExperimentScale | None,
+    seed: int,
+    cache: DiskCache | None = None,
 ) -> Fig56Result:
     cfg = scale or active_scale()
     spec = benchmark_spec("mnist")
-    system = create_locked_encoder(
-        n_features=spec.n_features,
-        levels=spec.levels,
-        dim=cfg.dim,
-        layers=2,
-        pool_size=spec.n_features,
-        rng=seed,
+    # Fig. 5 and Fig. 6 evaluate the SAME deployed system under two
+    # criteria; the cache lets whichever runs second (possibly in a
+    # different worker process) reuse the generated pool/key/encoder.
+    system = cached(
+        cache,
+        (
+            "locked-system",
+            spec.n_features,
+            spec.levels,
+            cfg.dim,
+            2,
+            spec.n_features,
+            seed,
+        ),
+        lambda: create_locked_encoder(
+            n_features=spec.n_features,
+            levels=spec.levels,
+            dim=cfg.dim,
+            layers=2,
+            pool_size=spec.n_features,
+            rng=seed,
+        ),
     )
     surface, _secure = expose_locked_model(system.encoder, binary=binary)
     panels = tuple(
@@ -76,17 +133,21 @@ def _run(
 
 
 def run_fig5(
-    scale: ExperimentScale | None = None, seed: int = DEFAULT_SEED
+    scale: ExperimentScale | None = None,
+    seed: int = DEFAULT_SEED,
+    cache: DiskCache | None = None,
 ) -> Fig56Result:
     """Fig. 5: binary HDC, Hamming-distance criterion."""
-    return _run(binary=True, scale=scale, seed=seed)
+    return _run(binary=True, scale=scale, seed=seed, cache=cache)
 
 
 def run_fig6(
-    scale: ExperimentScale | None = None, seed: int = DEFAULT_SEED
+    scale: ExperimentScale | None = None,
+    seed: int = DEFAULT_SEED,
+    cache: DiskCache | None = None,
 ) -> Fig56Result:
     """Fig. 6: non-binary HDC, cosine criterion."""
-    return _run(binary=False, scale=scale, seed=seed)
+    return _run(binary=False, scale=scale, seed=seed, cache=cache)
 
 
 _PANEL_LABELS = ("k_{1,1}", "index(B_{1,1})", "k_{1,2}", "index(B_{1,2})")

@@ -14,6 +14,7 @@ improvement.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 from repro.attack.complexity import (
     guesses_vs_dim_and_pool,
@@ -61,6 +62,43 @@ class Fig7Result:
     def checkpoints_match(self) -> bool:
         """True when every quoted paper number matches within 1 %."""
         return all(c.relative_error < 0.01 for c in self.checkpoints)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Stable artifact payload (JSON object keys are strings, so the
+        7b pool sizes serialize as decimal strings)."""
+        return {
+            "surface_7a": [
+                [int(d), int(p), int(g)] for d, p, g in self.surface_7a
+            ],
+            "curves_7b": {
+                str(pool): [[int(depth), int(g)] for depth, g in curve]
+                for pool, curve in self.curves_7b.items()
+            },
+            "checkpoints": [
+                {
+                    "label": c.label,
+                    "paper_value": float(c.paper_value),
+                    "computed": float(c.computed),
+                }
+                for c in self.checkpoints
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Fig7Result":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            surface_7a=[
+                (int(d), int(p), int(g)) for d, p, g in payload["surface_7a"]
+            ],
+            curves_7b={
+                int(pool): [(int(depth), int(g)) for depth, g in curve]
+                for pool, curve in payload["curves_7b"].items()
+            },
+            checkpoints=tuple(
+                PaperCheckpoint(**c) for c in payload["checkpoints"]
+            ),
+        )
 
 
 def mnist_checkpoints() -> tuple[PaperCheckpoint, ...]:

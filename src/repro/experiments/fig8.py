@@ -9,11 +9,12 @@ fresh orthogonal ones, so HDLock costs no accuracy at any depth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping, Sequence
 
 from repro.data.benchmarks import BENCHMARK_ORDER, PAPER_REFERENCE, load_benchmark
 from repro.encoding.record import RecordEncoder
+from repro.experiments.cache import DiskCache, cached
 from repro.experiments.config import DEFAULT_SEED, ExperimentScale, active_scale
 from repro.hdlock.lock import create_locked_encoder
 from repro.model.train import train_model
@@ -57,6 +58,51 @@ class Fig8Result:
         baseline = curve[0]
         return max(baseline - acc for l, acc in curve.items() if l > 0)
 
+    def to_dict(self) -> dict[str, Any]:
+        """Stable artifact payload: one entry per trained cell."""
+        return {"cells": [asdict(c) for c in self.cells]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Fig8Result":
+        """Inverse of :meth:`to_dict`."""
+        return cls(cells=tuple(Fig8Cell(**c) for c in payload["cells"]))
+
+
+def _train_cell(
+    dataset,
+    name: str,
+    binary: bool,
+    depth: int,
+    cfg: ExperimentScale,
+    run_seed: int,
+) -> float:
+    """Train one (benchmark, flavor, L) model and return test accuracy."""
+    if depth == 0:
+        encoder = RecordEncoder.random(
+            dataset.n_features,
+            dataset.levels,
+            cfg.fig8_dim,
+            run_seed,
+        )
+    else:
+        encoder = create_locked_encoder(
+            n_features=dataset.n_features,
+            levels=dataset.levels,
+            dim=cfg.fig8_dim,
+            layers=depth,
+            rng=run_seed,
+        ).encoder
+    training = train_model(
+        encoder,
+        dataset.train_x,
+        dataset.train_y,
+        n_classes=dataset.n_classes,
+        binary=binary,
+        retrain_epochs=cfg.retrain_epochs,
+        rng=run_seed,
+    )
+    return training.model.score(dataset.test_x, dataset.test_y)
+
 
 def run_fig8(
     benchmarks: Sequence[str] = BENCHMARK_ORDER,
@@ -64,49 +110,51 @@ def run_fig8(
     layers: Sequence[int] = LAYER_RANGE,
     scale: ExperimentScale | None = None,
     seed: int = DEFAULT_SEED,
+    cache: DiskCache | None = None,
 ) -> Fig8Result:
-    """Train one model per (benchmark, flavor, L) and collect accuracy."""
+    """Train one model per (benchmark, flavor, L) and collect accuracy.
+
+    This sweep dominates the suite's cold runtime (6 trained models per
+    benchmark per flavor), so both the generated datasets and the
+    per-cell accuracies go through the shared on-disk ``cache`` when one
+    is provided — every cell is a pure function of its key, so warm
+    re-runs and concurrent shards skip the training entirely.
+    """
     cfg = scale or active_scale()
     cells: list[Fig8Cell] = []
     for name in benchmarks:
-        dataset = load_benchmark(
-            name, rng=seed, sample_scale=cfg.fig8_sample_scale
+        dataset = cached(
+            cache,
+            ("dataset", name, seed, cfg.fig8_sample_scale),
+            lambda: load_benchmark(
+                name, rng=seed, sample_scale=cfg.fig8_sample_scale
+            ),
         )
         for binary in flavors:
             for depth in layers:
                 run_seed = derive_seed(seed, "fig8", name, binary, depth)
-                if depth == 0:
-                    encoder = RecordEncoder.random(
-                        dataset.n_features,
-                        dataset.levels,
+                accuracy = cached(
+                    cache,
+                    (
+                        "fig8-cell",
+                        name,
+                        binary,
+                        depth,
                         cfg.fig8_dim,
+                        cfg.fig8_sample_scale,
+                        cfg.retrain_epochs,
                         run_seed,
-                    )
-                else:
-                    encoder = create_locked_encoder(
-                        n_features=dataset.n_features,
-                        levels=dataset.levels,
-                        dim=cfg.fig8_dim,
-                        layers=depth,
-                        rng=run_seed,
-                    ).encoder
-                training = train_model(
-                    encoder,
-                    dataset.train_x,
-                    dataset.train_y,
-                    n_classes=dataset.n_classes,
-                    binary=binary,
-                    retrain_epochs=cfg.retrain_epochs,
-                    rng=run_seed,
+                    ),
+                    lambda: _train_cell(
+                        dataset, name, binary, depth, cfg, run_seed
+                    ),
                 )
                 cells.append(
                     Fig8Cell(
                         benchmark=name,
                         binary=binary,
                         layers=depth,
-                        accuracy=training.model.score(
-                            dataset.test_x, dataset.test_y
-                        ),
+                        accuracy=accuracy,
                     )
                 )
     return Fig8Result(cells=tuple(cells))

@@ -12,6 +12,7 @@ dominated by the per-feature beat count, which does not depend on ``N``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 from repro.data.benchmarks import BENCHMARK_ORDER, BENCHMARKS
 from repro.experiments.config import DEFAULT_SEED, ExperimentScale
@@ -44,6 +45,31 @@ class Fig9Result:
         'curves coincide' observation quantified."""
         values = list(self.overhead_at(2).values())
         return max(values) - min(values)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Stable artifact payload."""
+        return {
+            "curves": {
+                name: [[int(depth), float(t)] for depth, t in curve]
+                for name, curve in self.curves.items()
+            },
+            "baseline_cycles": {
+                name: int(c) for name, c in self.baseline_cycles.items()
+            },
+            "dim": int(self.dim),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Fig9Result":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            curves={
+                name: [(int(depth), float(t)) for depth, t in curve]
+                for name, curve in payload["curves"].items()
+            },
+            baseline_cycles=dict(payload["baseline_cycles"]),
+            dim=int(payload["dim"]),
+        )
 
 
 def run_fig9(

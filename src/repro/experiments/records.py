@@ -1,0 +1,246 @@
+"""Structured experiment records and on-disk JSON artifacts.
+
+Every experiment run produces an :class:`ExperimentRecord` — the
+experiment's structured payload plus the provenance needed to reproduce
+it (scale, root seed, derived child seed, environment) and the wall
+clock measured *inside* the worker that ran it.
+
+Artifacts are deterministic by construction: wall-clock measurements and
+any payload fields derived from them (``reasoning_seconds``,
+``measured_seconds``, …) are split out of the payload by
+:func:`split_volatile` into the record's ``timing`` section, which is
+excluded from the artifact file. For a fixed ``--seed`` the artifact
+bytes are therefore identical no matter how many workers produced them
+(``--jobs 1`` vs ``--jobs 4``), which makes artifacts diffable and the
+``--out`` directory resumable: an artifact whose embedded ``key``
+(a content hash over schema/experiment/seed/scale/environment) matches
+the requested run is up to date and is skipped.
+
+Artifact layout under ``--out DIR``::
+
+    DIR/
+      <experiment>.json   # canonical JSON, deterministic per seed
+      manifest.json       # volatile run metadata: timings, statuses
+
+Artifact schema (one file per experiment)::
+
+    {
+      "schema": 1,              # bumped on breaking layout changes
+      "experiment": "fig3",
+      "key": "<sha256 hex>",    # identity hash used by resume
+      "seed": 19740,            # root suite seed (--seed)
+      "child_seed": ...,        # SeedSequence-derived seed consumed
+      "scale": {...},           # ExperimentScale.to_dict()
+      "env": {...},             # python/numpy/platform versions
+      "data": {...}             # experiment payload, timing-free
+    }
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ExperimentRecord",
+    "artifact_up_to_date",
+    "canonical_json",
+    "environment_provenance",
+    "load_artifact",
+    "merge_volatile",
+    "record_key",
+    "split_volatile",
+]
+
+#: Version of the artifact layout; bump on breaking schema changes so
+#: stale artifacts stop matching the resume key.
+SCHEMA_VERSION = 1
+
+
+def canonical_json(obj: Any) -> str:
+    """Serialize ``obj`` to the one canonical JSON text used on disk.
+
+    Sorted keys, two-space indent, trailing newline — stable bytes for
+    identical values, so artifact parity can be asserted bytewise.
+    """
+    return json.dumps(obj, sort_keys=True, indent=2, allow_nan=False) + "\n"
+
+
+def environment_provenance() -> dict[str, str]:
+    """Versions that determine the numeric results on this machine."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": sys.platform,
+    }
+
+
+def split_volatile(
+    node: Any, volatile_keys: Iterable[str], _path: str = ""
+) -> tuple[Any, dict[str, Any]]:
+    """Strip wall-clock-derived fields out of a payload tree.
+
+    Returns ``(clean, volatile)`` where ``clean`` is ``node`` with every
+    mapping key named in ``volatile_keys`` removed (recursively, through
+    dicts and lists) and ``volatile`` maps the JSON path of each removed
+    field (e.g. ``"rows[3].reasoning_seconds"``) to its value.
+    """
+    keys = frozenset(volatile_keys)
+    volatile: dict[str, Any] = {}
+    if isinstance(node, Mapping):
+        clean: dict[str, Any] = {}
+        for k, v in node.items():
+            child_path = f"{_path}.{k}" if _path else str(k)
+            if k in keys:
+                volatile[child_path] = v
+                continue
+            sub_clean, sub_volatile = split_volatile(v, keys, child_path)
+            clean[k] = sub_clean
+            volatile.update(sub_volatile)
+        return clean, volatile
+    if isinstance(node, list):
+        items = []
+        for i, v in enumerate(node):
+            sub_clean, sub_volatile = split_volatile(v, keys, f"{_path}[{i}]")
+            items.append(sub_clean)
+            volatile.update(sub_volatile)
+        return items, volatile
+    return node, volatile
+
+
+def merge_volatile(clean: Any, volatile: Mapping[str, Any]) -> Any:
+    """Inverse of :func:`split_volatile` (for rebuilding full payloads)."""
+    import copy
+    import re
+
+    merged = copy.deepcopy(clean)
+    token = re.compile(r"\.?([^.\[\]]+)|\[(\d+)\]")
+    for path, value in volatile.items():
+        parts: list[str | int] = [
+            int(index) if index else name
+            for name, index in token.findall(path)
+        ]
+        node = merged
+        for part in parts[:-1]:
+            node = node[part]
+        node[parts[-1]] = value
+    return merged
+
+
+def record_key(
+    experiment: str,
+    seed: int,
+    child_seed: int,
+    scale: Mapping[str, Any],
+    env: Mapping[str, Any] | None = None,
+    schema: int = SCHEMA_VERSION,
+) -> str:
+    """Content hash identifying one (experiment, scale, seed, env) run.
+
+    The resume logic treats an on-disk artifact as up to date exactly
+    when its embedded key equals this hash for the requested run.
+    """
+    identity = {
+        "schema": schema,
+        "experiment": experiment,
+        "seed": seed,
+        "child_seed": child_seed,
+        "scale": dict(scale),
+        "env": dict(env if env is not None else environment_provenance()),
+    }
+    digest = hashlib.sha256(canonical_json(identity).encode("utf-8"))
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One experiment's structured result plus reproduction provenance."""
+
+    experiment: str
+    seed: int
+    child_seed: int
+    scale: dict[str, Any]
+    data: dict[str, Any]
+    timing: dict[str, Any] = field(default_factory=dict)
+    env: dict[str, str] = field(default_factory=environment_provenance)
+    schema: int = SCHEMA_VERSION
+
+    @property
+    def key(self) -> str:
+        """The resume/identity hash of this record."""
+        return record_key(
+            self.experiment,
+            self.seed,
+            self.child_seed,
+            self.scale,
+            self.env,
+            self.schema,
+        )
+
+    def artifact_dict(self) -> dict[str, Any]:
+        """The deterministic subset written to the artifact file."""
+        return {
+            "schema": self.schema,
+            "experiment": self.experiment,
+            "key": self.key,
+            "seed": self.seed,
+            "child_seed": self.child_seed,
+            "scale": dict(self.scale),
+            "env": dict(self.env),
+            "data": self.data,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        """Full serialization, timing included (manifest / stdout JSON)."""
+        payload = self.artifact_dict()
+        payload["timing"] = self.timing
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentRecord":
+        """Rebuild a record from :meth:`to_dict` or an artifact dict."""
+        return cls(
+            experiment=payload["experiment"],
+            seed=payload["seed"],
+            child_seed=payload["child_seed"],
+            scale=dict(payload["scale"]),
+            data=dict(payload["data"]),
+            timing=dict(payload.get("timing", {})),
+            env=dict(payload["env"]),
+            schema=payload["schema"],
+        )
+
+    def write_artifact(self, out_dir: str | Path) -> Path:
+        """Write the canonical artifact file; returns its path."""
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        path = out / f"{self.experiment}.json"
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(canonical_json(self.artifact_dict()), encoding="utf-8")
+        tmp.replace(path)
+        return path
+
+
+def load_artifact(path: str | Path) -> dict[str, Any]:
+    """Read one artifact file back as a plain dict."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def artifact_up_to_date(path: str | Path, expected_key: str) -> bool:
+    """True when ``path`` exists and its embedded key matches."""
+    path = Path(path)
+    if not path.is_file():
+        return False
+    try:
+        payload = load_artifact(path)
+    except (OSError, json.JSONDecodeError):
+        return False
+    return payload.get("key") == expected_key

@@ -1,121 +1,552 @@
-"""Command-line experiment runner.
+"""Parallel, artifact-producing experiment runner.
 
-Regenerates any subset of the paper's tables and figures as text::
+Regenerates any subset of the paper's tables and figures, serially or
+fanned out over worker processes, as text reports or machine-readable
+JSON artifacts::
 
-    python -m repro.experiments.runner                 # everything, reduced
-    python -m repro.experiments.runner --only fig3,fig9
-    REPRO_FULL_SCALE=1 python -m repro.experiments.runner --only table1
+    python -m repro                                    # everything, text
+    python -m repro --only fig3,fig9 --seed 7
+    python -m repro --jobs 4 --format json --out artifacts
+    REPRO_FULL_SCALE=1 python -m repro --only table1
 
-Each experiment prints the same rows/series the paper reports, next to
-the paper's reference values where the paper states them.
+Flags:
+
+``--only NAMES``
+    Comma-separated subset of the registry (whitespace around names and
+    empty segments are tolerated; duplicates collapse, order preserved).
+    Unknown names are a usage error (exit code 2), not a traceback.
+``--seed N``
+    Root suite seed. Every experiment consumes its own child seed,
+    derived from one :class:`numpy.random.SeedSequence` keyed by the
+    experiment's fixed registry position — deterministic given the root
+    seed, independent across experiments, and identical under every
+    ``--jobs`` setting. (Fig. 5 and Fig. 6 share one child seed on
+    purpose: they evaluate the same deployed system under two criteria.)
+``--jobs N``
+    Number of worker processes. Experiments always execute in spawned
+    workers (also for ``--jobs 1``) so numeric results cannot depend on
+    the parallelism level; wall clocks are measured inside the worker
+    that ran the experiment, keeping reasoning-time numbers honest under
+    concurrency.
+``--format text|json``
+    ``text`` prints the paper-style tables; ``json`` prints one
+    canonical JSON document with every record plus per-experiment
+    timings.
+``--out DIR``
+    Write one deterministic JSON artifact per experiment plus a
+    ``manifest.json`` with the volatile run metadata (statuses, wall
+    clocks, cache hit rates). Re-running with the same seed/scale skips
+    experiments whose artifact key already matches (resume); see
+    :mod:`repro.experiments.records` for the artifact schema.
+``--cache DIR`` / ``--no-cache``
+    Shared on-disk cache for deterministic intermediates (benchmark
+    datasets, Fig. 8 trained cells, the Fig. 5/6 locked system); see
+    :mod:`repro.experiments.cache` for the layout. Defaults to
+    ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-hdlock``.
+
+Exit codes: 0 on success, 1 when an experiment fails, 2 on usage or
+configuration errors (unknown experiment names, bad ``REPRO_FULL_SCALE``
+values).
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import Callable
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Any, Callable
 
+import numpy as np
+
+from repro.data.benchmarks import BENCHMARK_ORDER
+from repro.errors import ConfigurationError
 from repro.experiments.ablations import (
-    layer_one_is_free,
-    naive_attack_on_locked,
-    pool_layer_synergy,
-    render_ablations,
-    single_layer_breakability,
-    value_lock_leakage,
+    ABLATIONS_VOLATILE_FIELDS,
+    AblationsResult,
+    run_ablations,
 )
+from repro.experiments.cache import DiskCache
 from repro.experiments.config import DEFAULT_SEED, ExperimentScale, active_scale
-from repro.experiments.fig3 import render_fig3, run_fig3
-from repro.experiments.fig56 import render_fig56, run_fig5, run_fig6
-from repro.experiments.fig7 import render_fig7, run_fig7
-from repro.experiments.fig8 import render_fig8, run_fig8
-from repro.experiments.fig9 import render_fig9, run_fig9
-from repro.experiments.sweeps import (
-    margin_vs_features,
-    recovery_vs_dim,
-    render_sweeps,
+from repro.experiments.fig3 import Fig3Result, render_fig3, run_fig3
+from repro.experiments.fig56 import Fig56Result, render_fig56, run_fig5, run_fig6
+from repro.experiments.fig7 import Fig7Result, render_fig7, run_fig7
+from repro.experiments.fig8 import Fig8Result, render_fig8, run_fig8
+from repro.experiments.fig9 import Fig9Result, render_fig9, run_fig9
+from repro.experiments.records import (
+    ExperimentRecord,
+    artifact_up_to_date,
+    canonical_json,
+    environment_provenance,
+    load_artifact,
+    record_key,
+    split_volatile,
 )
-from repro.experiments.table1 import render_table1, run_table1
+from repro.experiments.sweeps import SweepsResult, run_sweeps
+from repro.experiments.table1 import (
+    TABLE1_VOLATILE_FIELDS,
+    render_table1,
+    run_table1,
+    table1_from_dict,
+    table1_to_dict,
+)
+from repro.utils.timer import Timer
+
+#: Default cache location when neither ``--cache`` nor ``--no-cache``
+#: nor ``$REPRO_CACHE_DIR`` says otherwise.
+DEFAULT_CACHE_DIR = "~/.cache/repro-hdlock"
 
 
-def _run_table1(scale: ExperimentScale, seed: int) -> str:
-    return render_table1(run_table1(scale=scale, seed=seed))
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Registry entry: how to run, serialize and render one experiment.
+
+    Experiments whose wall clock would dominate the suite declare
+    ``shards``: independent work units (e.g. one per benchmark/flavor)
+    that workers can run concurrently and ``combine`` reassembles into
+    the one canonical result. Shards receive the experiment's child seed
+    and derive their internal streams from their own identity, so a
+    sharded run is bit-identical to the whole-experiment run.
+    """
+
+    name: str
+    #: Experiments in the same seed group receive the same child seed
+    #: (used by fig5/fig6, which deploy one system under two criteria).
+    seed_group: str
+    run: Callable[[ExperimentScale, int, DiskCache | None], Any]
+    to_dict: Callable[[Any], dict[str, Any]]
+    from_dict: Callable[[dict[str, Any]], Any]
+    render: Callable[[Any], str]
+    #: Payload keys measured from wall clock, stripped from artifacts.
+    volatile: frozenset[str] = frozenset()
+    #: Work-unit descriptors for parallel execution (None = one unit).
+    shards: Callable[[ExperimentScale], list[Any]] | None = None
+    #: Run one shard: ``(scale, child_seed, cache, shard) -> partial``.
+    run_shard: (
+        Callable[[ExperimentScale, int, DiskCache | None, Any], Any] | None
+    ) = None
+    #: Reassemble shard partials (in shard order) into the result.
+    combine: Callable[[list[Any]], Any] | None = None
 
 
-def _run_fig3(scale: ExperimentScale, seed: int) -> str:
-    return render_fig3(run_fig3(scale=scale, seed=seed))
-
-
-def _run_fig5(scale: ExperimentScale, seed: int) -> str:
-    return render_fig56(run_fig5(scale=scale, seed=seed))
-
-
-def _run_fig6(scale: ExperimentScale, seed: int) -> str:
-    return render_fig56(run_fig6(scale=scale, seed=seed))
-
-
-def _run_fig7(scale: ExperimentScale, seed: int) -> str:
-    del scale, seed  # analytic
-    return render_fig7(run_fig7())
-
-
-def _run_fig8(scale: ExperimentScale, seed: int) -> str:
-    return render_fig8(run_fig8(scale=scale, seed=seed))
-
-
-def _run_fig9(scale: ExperimentScale, seed: int) -> str:
-    return render_fig9(run_fig9(scale=scale, seed=seed))
-
-
-def _run_ablations(scale: ExperimentScale, seed: int) -> str:
-    return render_ablations(
-        value_lock_leakage(seed=seed),
-        layer_one_is_free(),
-        pool_layer_synergy(),
-        naive_attack_on_locked(scale=scale, seed=seed),
-        single_layer_breakability(seed=seed),
+def _spec(
+    name: str,
+    run: Callable[..., Any],
+    to_dict: Callable[[Any], dict[str, Any]],
+    from_dict: Callable[[dict[str, Any]], Any],
+    render: Callable[[Any], str],
+    seed_group: str | None = None,
+    volatile: frozenset[str] = frozenset(),
+    shards: Callable[[ExperimentScale], list[Any]] | None = None,
+    run_shard: Callable[..., Any] | None = None,
+    combine: Callable[[list[Any]], Any] | None = None,
+) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=name,
+        seed_group=seed_group or name,
+        run=run,
+        to_dict=to_dict,
+        from_dict=from_dict,
+        render=render,
+        volatile=volatile,
+        shards=shards,
+        run_shard=run_shard,
+        combine=combine,
     )
 
 
-def _run_sweeps(scale: ExperimentScale, seed: int) -> str:
-    del scale  # sweeps pick their own (N, D) grids
-    return render_sweeps(
-        recovery_vs_dim(seed=seed), margin_vs_features(seed=seed)
+def _table1_shards(scale: ExperimentScale) -> list[Any]:
+    del scale
+    return [
+        (benchmark, binary)
+        for benchmark in BENCHMARK_ORDER
+        for binary in (False, True)
+    ]
+
+
+def _run_table1_shard(
+    scale: ExperimentScale, seed: int, cache: DiskCache | None, shard: Any
+) -> Any:
+    benchmark, binary = shard
+    return run_table1(
+        benchmarks=(benchmark,),
+        flavors=(binary,),
+        scale=scale,
+        seed=seed,
+        cache=cache,
     )
 
 
-EXPERIMENTS: dict[str, Callable[[ExperimentScale, int], str]] = {
-    "table1": _run_table1,
-    "fig3": _run_fig3,
-    "fig5": _run_fig5,
-    "fig6": _run_fig6,
-    "fig7": _run_fig7,
-    "fig8": _run_fig8,
-    "fig9": _run_fig9,
-    "ablations": _run_ablations,
-    "sweeps": _run_sweeps,
+def _combine_table1(parts: list[Any]) -> Any:
+    # Shard order mirrors run_table1's benchmark-major loop, so
+    # concatenating partials in shard order is the canonical row order.
+    return [row for part in parts for row in part]
+
+
+def _fig8_shards(scale: ExperimentScale) -> list[Any]:
+    del scale
+    return list(BENCHMARK_ORDER)
+
+
+def _run_fig8_shard(
+    scale: ExperimentScale, seed: int, cache: DiskCache | None, shard: Any
+) -> Any:
+    return run_fig8(benchmarks=(shard,), scale=scale, seed=seed, cache=cache)
+
+
+def _combine_fig8(parts: list[Any]) -> Any:
+    return Fig8Result(
+        cells=tuple(cell for part in parts for cell in part.cells)
+    )
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.name: spec
+    for spec in (
+        _spec(
+            "table1",
+            lambda scale, seed, cache: run_table1(
+                scale=scale, seed=seed, cache=cache
+            ),
+            table1_to_dict,
+            table1_from_dict,
+            render_table1,
+            volatile=TABLE1_VOLATILE_FIELDS,
+            shards=_table1_shards,
+            run_shard=_run_table1_shard,
+            combine=_combine_table1,
+        ),
+        _spec(
+            "fig3",
+            lambda scale, seed, cache: run_fig3(scale=scale, seed=seed),
+            Fig3Result.to_dict,
+            Fig3Result.from_dict,
+            render_fig3,
+        ),
+        _spec(
+            "fig5",
+            lambda scale, seed, cache: run_fig5(
+                scale=scale, seed=seed, cache=cache
+            ),
+            Fig56Result.to_dict,
+            Fig56Result.from_dict,
+            render_fig56,
+            seed_group="fig56",
+        ),
+        _spec(
+            "fig6",
+            lambda scale, seed, cache: run_fig6(
+                scale=scale, seed=seed, cache=cache
+            ),
+            Fig56Result.to_dict,
+            Fig56Result.from_dict,
+            render_fig56,
+            seed_group="fig56",
+        ),
+        _spec(
+            "fig7",
+            lambda scale, seed, cache: run_fig7(),
+            Fig7Result.to_dict,
+            Fig7Result.from_dict,
+            render_fig7,
+        ),
+        _spec(
+            "fig8",
+            lambda scale, seed, cache: run_fig8(
+                scale=scale, seed=seed, cache=cache
+            ),
+            Fig8Result.to_dict,
+            Fig8Result.from_dict,
+            render_fig8,
+            shards=_fig8_shards,
+            run_shard=_run_fig8_shard,
+            combine=_combine_fig8,
+        ),
+        _spec(
+            "fig9",
+            lambda scale, seed, cache: run_fig9(scale=scale, seed=seed),
+            Fig9Result.to_dict,
+            Fig9Result.from_dict,
+            render_fig9,
+        ),
+        _spec(
+            "ablations",
+            lambda scale, seed, cache: run_ablations(scale=scale, seed=seed),
+            AblationsResult.to_dict,
+            AblationsResult.from_dict,
+            AblationsResult.render,
+            volatile=ABLATIONS_VOLATILE_FIELDS,
+        ),
+        _spec(
+            "sweeps",
+            lambda scale, seed, cache: run_sweeps(scale=scale, seed=seed),
+            SweepsResult.to_dict,
+            SweepsResult.from_dict,
+            SweepsResult.render,
+        ),
+    )
 }
+
+#: Seed groups in fixed registry order; a group's position is its
+#: SeedSequence spawn key, so child seeds do not depend on which subset
+#: of experiments a given invocation selects.
+_SEED_GROUPS: tuple[str, ...] = tuple(
+    dict.fromkeys(spec.seed_group for spec in EXPERIMENTS.values())
+)
+
+
+def child_seed(root_seed: int, name: str) -> int:
+    """The derived seed experiment ``name`` consumes for root ``--seed``.
+
+    Spawned from one :class:`numpy.random.SeedSequence` keyed by the
+    experiment's seed-group position: deterministic given the root seed,
+    statistically independent across groups, and identical regardless of
+    ``--only`` subsets or ``--jobs`` settings.
+    """
+    group = EXPERIMENTS[name].seed_group
+    spawn_key = _SEED_GROUPS.index(group)
+    state = np.random.SeedSequence(
+        root_seed, spawn_key=(spawn_key,)
+    ).generate_state(2)
+    return (int(state[0]) << 32 | int(state[1])) & 0x7FFF_FFFF_FFFF_FFFF
+
+
+def normalize_names(raw: str | None) -> list[str]:
+    """Parse ``--only``: strip segments, drop empties, dedupe in order.
+
+    Raises :class:`KeyError` naming the unknown experiments (the CLI
+    turns this into a usage error, exit code 2).
+    """
+    if raw is None:
+        return list(EXPERIMENTS)
+    names = [segment.strip() for segment in raw.split(",")]
+    names = list(dict.fromkeys(n for n in names if n))
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(
+            f"unknown experiment(s) {unknown}; available: {list(EXPERIMENTS)}"
+        )
+    return names
+
+
+@dataclass(frozen=True)
+class ExperimentOutcome:
+    """One assembled experiment: the record plus its text rendering."""
+
+    record: ExperimentRecord
+    rendered: str
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """What one worker hands back for one work unit."""
+
+    partial: Any
+    elapsed: float
+    cache_hits: int
+    cache_misses: int
+
+
+def _execute_shard(
+    name: str,
+    shard: Any,
+    scale: ExperimentScale,
+    root_seed: int,
+    cache_dir: str | None,
+) -> ShardOutcome:
+    """Run one work unit (in whatever process this is called from).
+
+    The wall clock is measured inside the worker, around exactly this
+    unit's computation on this core — reasoning-time numbers stay honest
+    no matter how many sibling units run concurrently.
+    """
+    spec = EXPERIMENTS[name]
+    cache = DiskCache(cache_dir) if cache_dir else None
+    seed = child_seed(root_seed, name)
+    with Timer() as timer:
+        if shard is None:
+            partial = spec.run(scale, seed, cache)
+        else:
+            partial = spec.run_shard(scale, seed, cache, shard)
+    return ShardOutcome(
+        partial=partial,
+        elapsed=timer.elapsed,
+        cache_hits=cache.hits if cache else 0,
+        cache_misses=cache.misses if cache else 0,
+    )
+
+
+def _assemble(
+    name: str,
+    scale: ExperimentScale,
+    root_seed: int,
+    shards: list[Any],
+    outcomes: list[ShardOutcome],
+) -> ExperimentOutcome:
+    """Combine shard partials into the experiment's record + rendering.
+
+    ``timing.elapsed_seconds`` is the sum of in-worker shard clocks —
+    the serial-equivalent cost of the experiment, independent of how
+    the units were scheduled.
+    """
+    spec = EXPERIMENTS[name]
+    if shards == [None]:
+        result = outcomes[0].partial
+    else:
+        result = spec.combine([o.partial for o in outcomes])
+    rendered = spec.render(result)
+    data, volatile = split_volatile(spec.to_dict(result), spec.volatile)
+    timing: dict[str, Any] = {
+        "elapsed_seconds": sum(o.elapsed for o in outcomes),
+        "volatile": volatile,
+        "cache": {
+            "hits": sum(o.cache_hits for o in outcomes),
+            "misses": sum(o.cache_misses for o in outcomes),
+        },
+    }
+    if shards != [None]:
+        timing["shards"] = {str(s): o.elapsed for s, o in zip(shards, outcomes)}
+    record = ExperimentRecord(
+        experiment=name,
+        seed=root_seed,
+        child_seed=child_seed(root_seed, name),
+        scale=scale.to_dict(),
+        data=data,
+        timing=timing,
+    )
+    return ExperimentOutcome(record=record, rendered=rendered)
+
+
+def _execute(
+    name: str,
+    scale: ExperimentScale,
+    root_seed: int,
+    cache_dir: str | None,
+) -> ExperimentOutcome:
+    """Run one whole experiment in this process (library/compat path)."""
+    outcome = _execute_shard(name, None, scale, root_seed, cache_dir)
+    return _assemble(name, scale, root_seed, [None], [outcome])
 
 
 def run_experiments(
     names: list[str] | None = None,
     scale: ExperimentScale | None = None,
     seed: int = DEFAULT_SEED,
+    cache_dir: str | None = None,
 ) -> dict[str, str]:
-    """Run the named experiments (all when ``names`` is None)."""
+    """Run the named experiments in-process (all when ``names`` is None).
+
+    Library-facing convenience kept for compatibility: returns rendered
+    text keyed by experiment name and raises :class:`KeyError` on
+    unknown names. The CLI path goes through worker processes instead.
+    """
     cfg = scale or active_scale()
-    selected = names or list(EXPERIMENTS)
-    unknown = [n for n in selected if n not in EXPERIMENTS]
-    if unknown:
-        raise KeyError(
-            f"unknown experiment(s) {unknown}; available: {list(EXPERIMENTS)}"
+    selected = normalize_names(",".join(names) if names else None)
+    return {
+        name: _execute(name, cfg, seed, cache_dir).rendered
+        for name in selected
+    }
+
+
+def _pin_worker_blas_threads() -> None:
+    """Single-thread the BLAS pools of spawned workers.
+
+    Set before the executor starts so freshly spawned interpreters load
+    numpy with one BLAS thread regardless of ``--jobs``: per-experiment
+    numbers stay bitwise identical at every parallelism level, and N
+    workers do not oversubscribe N cores with N x T BLAS threads.
+    Explicit user settings win (``setdefault``).
+    """
+    for var in ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS", "MKL_NUM_THREADS"):
+        os.environ.setdefault(var, "1")
+
+
+def _run_pool(
+    pending: list[str],
+    scale: ExperimentScale,
+    seed: int,
+    cache_dir: str | None,
+    jobs: int,
+) -> tuple[dict[str, ExperimentOutcome], dict[str, str]]:
+    """Execute ``pending`` on a spawn-based process pool.
+
+    Sharded experiments fan out one future per work unit so a single
+    heavyweight experiment (Table 1 at full scale) cannot serialize the
+    suite on its own. Returns ``(outcomes, errors)`` keyed by
+    experiment name.
+    """
+    outcomes: dict[str, ExperimentOutcome] = {}
+    errors: dict[str, str] = {}
+    if not pending:
+        return outcomes, errors
+    shard_lists = {
+        name: (
+            EXPERIMENTS[name].shards(scale)
+            if EXPERIMENTS[name].shards is not None
+            else [None]
         )
-    return {name: EXPERIMENTS[name](cfg, seed) for name in selected}
+        for name in pending
+    }
+    _pin_worker_blas_threads()
+    units = sum(len(shards) for shards in shard_lists.values())
+    workers = min(jobs, units)
+    with ProcessPoolExecutor(
+        max_workers=workers, mp_context=get_context("spawn")
+    ) as pool:
+        futures = {
+            name: [
+                pool.submit(_execute_shard, name, shard, scale, seed, cache_dir)
+                for shard in shard_lists[name]
+            ]
+            for name in pending
+        }
+        for name, shard_futures in futures.items():
+            shard_outcomes: list[ShardOutcome] = []
+            failure: str | None = None
+            for future in shard_futures:
+                try:
+                    shard_outcomes.append(future.result())
+                except Exception as exc:  # worker died or shard raised
+                    failure = failure or f"{type(exc).__name__}: {exc}"
+            if failure is not None:
+                errors[name] = failure
+                continue
+            try:
+                outcomes[name] = _assemble(
+                    name, scale, seed, shard_lists[name], shard_outcomes
+                )
+            except Exception as exc:
+                errors[name] = f"{type(exc).__name__}: {exc}"
+    return outcomes, errors
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
+def _write_manifest(
+    out_dir: Path,
+    scale: ExperimentScale,
+    seed: int,
+    jobs: int,
+    statuses: dict[str, dict[str, Any]],
+) -> Path:
+    """Write the volatile run metadata next to the artifacts."""
+    manifest = {
+        "seed": seed,
+        "jobs": jobs,
+        "scale": scale.to_dict(),
+        "env": environment_provenance(),
+        "experiments": statuses,
+    }
+    path = out_dir / "manifest.json"
+    path.write_text(canonical_json(manifest), encoding="utf-8")
+    return path
+
+
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        description="Regenerate the HDLock paper's tables and figures."
+        prog="python -m repro",
+        description="Regenerate the HDLock paper's tables and figures.",
     )
     parser.add_argument(
         "--only",
@@ -123,17 +554,131 @@ def main(argv: list[str] | None = None) -> int:
         help=f"comma-separated subset of {sorted(EXPERIMENTS)}",
     )
     parser.add_argument(
-        "--seed", type=int, default=DEFAULT_SEED, help="experiment seed"
+        "--seed", type=int, default=DEFAULT_SEED, help="root suite seed"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes to fan experiments out over (default 1)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="stdout format: paper-style text tables or canonical JSON",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="write per-experiment JSON artifacts + manifest.json here; "
+        "re-runs skip artifacts that are already up to date",
+    )
+    parser.add_argument(
+        "--cache",
+        default=os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR),
+        metavar="DIR",
+        help="shared on-disk cache for datasets/trained models "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro-hdlock)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the shared on-disk cache",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (see module docstring for flags and exit codes)."""
+    parser = _build_parser()
     args = parser.parse_args(argv)
-    names = args.only.split(",") if args.only else None
-    scale = active_scale()
-    print(f"[experiment scale: {scale.name}, D={scale.dim}]")
-    for name, report in run_experiments(names, scale, args.seed).items():
-        print()
-        print(f"=== {name} ===")
-        print(report)
-    return 0
+    try:
+        names = normalize_names(args.only)
+    except KeyError as exc:
+        parser.error(str(exc.args[0]))
+    try:
+        scale = active_scale()
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    cache_dir = None if args.no_cache else str(Path(args.cache).expanduser())
+    out_dir = Path(args.out).expanduser() if args.out else None
+
+    env = environment_provenance()
+    expected_keys = {
+        name: record_key(
+            name, args.seed, child_seed(args.seed, name), scale.to_dict(), env
+        )
+        for name in names
+    }
+
+    # Resume: artifacts whose embedded key matches are already up to date.
+    skipped: dict[str, Path] = {}
+    if out_dir is not None:
+        for name in names:
+            path = out_dir / f"{name}.json"
+            if artifact_up_to_date(path, expected_keys[name]):
+                skipped[name] = path
+    pending = [n for n in names if n not in skipped]
+
+    outcomes, errors = _run_pool(
+        pending, scale, args.seed, cache_dir, args.jobs
+    )
+
+    statuses: dict[str, dict[str, Any]] = {}
+    for name in names:
+        if name in skipped:
+            statuses[name] = {"status": "skipped"}
+        elif name in outcomes:
+            statuses[name] = {
+                "status": "run",
+                "timing": outcomes[name].record.timing,
+            }
+        else:
+            statuses[name] = {"status": "error", "error": errors[name]}
+
+    if out_dir is not None:
+        for name, outcome in outcomes.items():
+            outcome.record.write_artifact(out_dir)
+        _write_manifest(out_dir, scale, args.seed, args.jobs, statuses)
+
+    if args.format == "json":
+        documents = []
+        for name in names:
+            if name in outcomes:
+                documents.append(outcomes[name].record.to_dict())
+            elif name in skipped:
+                documents.append(load_artifact(skipped[name]))
+        print(
+            canonical_json(
+                {
+                    "seed": args.seed,
+                    "jobs": args.jobs,
+                    "scale": scale.to_dict(),
+                    "experiments": statuses,
+                    "records": documents,
+                }
+            ),
+            end="",
+        )
+    else:
+        print(f"[experiment scale: {scale.name}, D={scale.dim}]")
+        for name in names:
+            print()
+            print(f"=== {name} ===")
+            if name in skipped:
+                print(f"[skipped: artifact up to date at {skipped[name]}]")
+            elif name in outcomes:
+                print(outcomes[name].rendered)
+            else:
+                print(f"[error: {errors[name]}]")
+
+    for name, message in errors.items():
+        print(f"error: {name}: {message}", file=sys.stderr)
+    return 1 if errors else 0
 
 
 if __name__ == "__main__":

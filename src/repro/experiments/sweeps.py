@@ -16,8 +16,8 @@ Two sweeps that quantify the operating envelope of the Sec. 3 attack:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
@@ -26,7 +26,7 @@ from repro.attack.threat_model import expose_model
 from repro.attack.value_extraction import extract_value_mapping
 from repro.attack.feature_extraction import guess_distance_series
 from repro.encoding.record import RecordEncoder
-from repro.experiments.config import DEFAULT_SEED
+from repro.experiments.config import DEFAULT_SEED, ExperimentScale
 from repro.utils.rng import derive_seed
 from repro.utils.tables import render_table
 
@@ -110,6 +110,45 @@ def margin_vs_features(
             )
         )
     return points
+
+
+@dataclass(frozen=True)
+class SweepsResult:
+    """Both operating-envelope sweeps, bundled for the runner."""
+
+    recovery: list[RecoveryPoint]
+    margins: list[MarginPoint]
+
+    def to_dict(self) -> dict[str, Any]:
+        """Stable artifact payload."""
+        return {
+            "recovery": [asdict(p) for p in self.recovery],
+            "margins": [asdict(p) for p in self.margins],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SweepsResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            recovery=[RecoveryPoint(**p) for p in payload["recovery"]],
+            margins=[MarginPoint(**p) for p in payload["margins"]],
+        )
+
+    def render(self) -> str:
+        """Delegates to the two-table renderer."""
+        return render_sweeps(self.recovery, self.margins)
+
+
+def run_sweeps(
+    scale: ExperimentScale | None = None,
+    seed: int = DEFAULT_SEED,
+) -> SweepsResult:
+    """Run both sweeps (they pick their own (N, D) grids)."""
+    del scale
+    return SweepsResult(
+        recovery=recovery_vs_dim(seed=seed),
+        margins=margin_vs_features(seed=seed),
+    )
 
 
 def render_sweeps(

@@ -15,18 +15,23 @@ the rest — are scale-free.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping, Sequence
 
 from repro.attack.pipeline import run_reasoning_attack, verify_mapping
 from repro.attack.reconstruct import evaluate_theft
 from repro.attack.threat_model import expose_model
 from repro.data.benchmarks import BENCHMARK_ORDER, PAPER_REFERENCE, load_benchmark
 from repro.encoding.record import RecordEncoder
+from repro.experiments.cache import DiskCache, cached
 from repro.experiments.config import DEFAULT_SEED, ExperimentScale, active_scale
 from repro.model.train import train_model
 from repro.utils.rng import derive_seed, resolve_rng
 from repro.utils.tables import format_seconds, render_table
+
+#: Payload fields derived from wall-clock measurement; the runner strips
+#: them from the deterministic artifact (see ``records.split_volatile``).
+TABLE1_VOLATILE_FIELDS = frozenset({"reasoning_seconds"})
 
 
 @dataclass(frozen=True)
@@ -43,22 +48,52 @@ class Table1Row:
     mapping_exact: bool
     feature_mapping_accuracy: float
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready field dict."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Table1Row":
+        """Rebuild a row; volatile timing fields default to 0.0."""
+        fields = dict(payload)
+        fields.setdefault("reasoning_seconds", 0.0)
+        return cls(**fields)
+
+
+def table1_to_dict(rows: Sequence[Table1Row]) -> dict[str, Any]:
+    """Stable artifact payload for a Table 1 run."""
+    return {"rows": [row.to_dict() for row in rows]}
+
+
+def table1_from_dict(payload: Mapping[str, Any]) -> list[Table1Row]:
+    """Inverse of :func:`table1_to_dict`."""
+    return [Table1Row.from_dict(row) for row in payload["rows"]]
+
 
 def run_table1(
     benchmarks: Sequence[str] = BENCHMARK_ORDER,
     flavors: Sequence[bool] = (False, True),
     scale: ExperimentScale | None = None,
     seed: int = DEFAULT_SEED,
+    cache: DiskCache | None = None,
 ) -> list[Table1Row]:
     """Train, deploy, attack and reconstruct every requested model.
 
     ``flavors`` lists ``binary`` values; the paper's order is non-binary
-    first.
+    first. ``cache`` deduplicates the generated benchmark datasets; the
+    attack itself is always run live so the reasoning times stay honest
+    measurements of this machine.
     """
     cfg = scale or active_scale()
     rows: list[Table1Row] = []
     for name in benchmarks:
-        dataset = load_benchmark(name, rng=seed, sample_scale=cfg.sample_scale)
+        dataset = cached(
+            cache,
+            ("dataset", name, seed, cfg.sample_scale),
+            lambda: load_benchmark(
+                name, rng=seed, sample_scale=cfg.sample_scale
+            ),
+        )
         for binary in flavors:
             rng = resolve_rng(derive_seed(seed, name, binary))
             encoder = RecordEncoder.random(

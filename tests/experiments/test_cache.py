@@ -1,0 +1,85 @@
+"""Tests for the shared on-disk experiment cache."""
+
+import numpy as np
+
+from repro.experiments.cache import DiskCache, cached
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig56 import run_fig5, run_fig6
+
+
+class TestDiskCache:
+    def test_get_or_compute_round_trip(self, tmp_path):
+        cache = DiskCache(tmp_path / "c")
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"x": np.arange(4)}
+
+        first = cache.get_or_compute(("k", 1), compute)
+        second = cache.get_or_compute(("k", 1), compute)
+        assert len(calls) == 1
+        assert cache.hits == 1 and cache.misses == 1
+        np.testing.assert_array_equal(first["x"], second["x"])
+
+    def test_distinct_keys_do_not_collide(self, tmp_path):
+        cache = DiskCache(tmp_path / "c")
+        assert cache.get_or_compute(("k", 1), lambda: "one") == "one"
+        assert cache.get_or_compute(("k", 2), lambda: "two") == "two"
+        assert cache.key_for(("k", 1)) != cache.key_for(("k", 2))
+
+    def test_corrupt_entry_recomputes(self, tmp_path):
+        cache = DiskCache(tmp_path / "c")
+        cache.put(("k",), "value")
+        cache.path_for(("k",)).write_bytes(b"not a pickle")
+        assert cache.get_or_compute(("k",), lambda: "fresh") == "fresh"
+        # ... and the entry heals for the next reader.
+        assert cache.get_or_compute(("k",), lambda: "stale") == "fresh"
+
+    def test_cached_without_cache_is_plain_call(self):
+        assert cached(None, ("k",), lambda: 7) == 7
+
+    def test_cached_none_value_round_trips(self, tmp_path):
+        cache = DiskCache(tmp_path / "c")
+        assert cache.get_or_compute(("n",), lambda: None) is None
+        assert cache.get_or_compute(("n",), lambda: "not none") is None
+        assert cache.hits == 1
+
+
+class TestExperimentCacheIntegration:
+    def test_fig8_warm_cache_matches_cold(self, tmp_path, test_scale):
+        cache = DiskCache(tmp_path / "c")
+        kwargs = dict(
+            benchmarks=("pamap",),
+            flavors=(True,),
+            layers=(0, 1),
+            scale=test_scale,
+            seed=31,
+        )
+        cold = run_fig8(cache=cache, **kwargs)
+        assert cache.misses > 0 and cache.hits == 0
+        warm = run_fig8(cache=cache, **kwargs)
+        assert cache.hits >= cache.misses
+        assert warm == cold
+        # And identical to the uncached run.
+        assert run_fig8(**kwargs) == cold
+
+    def test_fig5_fig6_share_the_locked_system(self, tmp_path, test_scale):
+        cache = DiskCache(tmp_path / "c")
+        five = run_fig5(scale=test_scale, seed=32, cache=cache)
+        assert cache.misses == 1
+        six = run_fig6(scale=test_scale, seed=32, cache=cache)
+        assert cache.hits == 1, "fig6 should reuse fig5's deployed system"
+        assert five.binary and not six.binary
+        # Same system, different criterion: panels sweep the same
+        # candidate grids.
+        for a, b in zip(five.panels, six.panels):
+            np.testing.assert_array_equal(a.candidates, b.candidates)
+            assert a.metric != b.metric
+
+    def test_cached_fig56_matches_uncached(self, test_scale, tmp_path):
+        cache = DiskCache(tmp_path / "c")
+        cached_run = run_fig5(scale=test_scale, seed=33, cache=cache)
+        plain_run = run_fig5(scale=test_scale, seed=33)
+        for a, b in zip(cached_run.panels, plain_run.panels):
+            np.testing.assert_array_equal(a.scores, b.scores)

@@ -1,0 +1,221 @@
+"""Record schema tests: JSON round-trips, volatile splitting, artifacts."""
+
+import json
+
+import pytest
+
+from repro.experiments.ablations import run_ablations
+from repro.experiments.fig3 import Fig3Result, run_fig3
+from repro.experiments.fig56 import Fig56Result, run_fig5, run_fig6
+from repro.experiments.fig7 import Fig7Result, run_fig7
+from repro.experiments.fig8 import Fig8Result, run_fig8
+from repro.experiments.fig9 import Fig9Result, run_fig9
+from repro.experiments.records import (
+    SCHEMA_VERSION,
+    ExperimentRecord,
+    artifact_up_to_date,
+    canonical_json,
+    load_artifact,
+    merge_volatile,
+    record_key,
+    split_volatile,
+)
+from repro.experiments.runner import EXPERIMENTS
+from repro.experiments.sweeps import (
+    SweepsResult,
+    margin_vs_features,
+    recovery_vs_dim,
+)
+from repro.experiments.table1 import run_table1, table1_from_dict, table1_to_dict
+
+
+class TestSplitVolatile:
+    def test_strips_nested_keys_and_records_paths(self):
+        data = {
+            "rows": [
+                {"benchmark": "isolet", "reasoning_seconds": 1.5},
+                {"benchmark": "ucihar", "reasoning_seconds": 2.5},
+            ],
+            "note": "kept",
+        }
+        clean, volatile = split_volatile(data, {"reasoning_seconds"})
+        assert clean == {
+            "rows": [{"benchmark": "isolet"}, {"benchmark": "ucihar"}],
+            "note": "kept",
+        }
+        assert volatile == {
+            "rows[0].reasoning_seconds": 1.5,
+            "rows[1].reasoning_seconds": 2.5,
+        }
+
+    def test_merge_is_inverse(self):
+        data = {"a": {"t": 3.0, "x": 1}, "b": [{"t": 4.0}], "c": 2}
+        clean, volatile = split_volatile(data, {"t"})
+        assert "t" not in clean["a"]
+        assert merge_volatile(clean, volatile) == data
+
+    def test_empty_volatile_set_is_identity(self):
+        data = {"a": [1, 2, {"b": 3}]}
+        clean, volatile = split_volatile(data, frozenset())
+        assert clean == data and volatile == {}
+
+
+class TestExperimentRecord:
+    def _record(self, **overrides):
+        fields = dict(
+            experiment="fig7",
+            seed=7,
+            child_seed=12345,
+            scale={"name": "test", "dim": 512},
+            data={"x": 1},
+            timing={"elapsed_seconds": 0.5},
+        )
+        fields.update(overrides)
+        return ExperimentRecord(**fields)
+
+    def test_artifact_excludes_timing(self):
+        record = self._record()
+        assert "timing" not in record.artifact_dict()
+        assert record.to_dict()["timing"] == {"elapsed_seconds": 0.5}
+
+    def test_key_ignores_timing_and_data(self):
+        a = self._record(timing={"elapsed_seconds": 0.1})
+        b = self._record(timing={"elapsed_seconds": 9.9})
+        assert a.key == b.key
+        assert self._record(seed=8).key != a.key
+        assert self._record(scale={"name": "test", "dim": 1024}).key != a.key
+
+    def test_from_dict_round_trip(self):
+        record = self._record()
+        clone = ExperimentRecord.from_dict(
+            json.loads(canonical_json(record.to_dict()))
+        )
+        assert clone == record
+
+    def test_write_and_resume_check(self, tmp_path):
+        record = self._record()
+        path = record.write_artifact(tmp_path)
+        assert path.name == "fig7.json"
+        payload = load_artifact(path)
+        assert payload["key"] == record.key
+        assert payload["schema"] == SCHEMA_VERSION
+        assert artifact_up_to_date(path, record.key)
+        assert not artifact_up_to_date(path, "different-key")
+        assert not artifact_up_to_date(tmp_path / "missing.json", record.key)
+
+    def test_corrupt_artifact_is_not_up_to_date(self, tmp_path):
+        path = tmp_path / "fig7.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert not artifact_up_to_date(path, "anything")
+
+    def test_record_key_matches_record_property(self):
+        record = self._record()
+        assert record.key == record_key(
+            "fig7", 7, 12345, {"name": "test", "dim": 512}, record.env
+        )
+
+    def test_canonical_json_is_stable_bytes(self):
+        one = canonical_json({"b": 1.25, "a": [1, 2]})
+        two = canonical_json({"a": [1, 2], "b": 1.25})
+        assert one == two
+        assert one.endswith("\n")
+
+
+def _round_trip(to_dict, from_dict, result):
+    """Assert payload -> JSON text -> payload is the identity."""
+    payload = to_dict(result)
+    decoded = json.loads(json.dumps(payload))
+    assert to_dict(from_dict(decoded)) == payload
+    return payload
+
+
+class TestSchemaRoundTrips:
+    """Every experiment's record schema survives a JSON round-trip."""
+
+    def test_table1(self, test_scale):
+        rows = run_table1(
+            benchmarks=("pamap",), flavors=(True,), scale=test_scale, seed=21
+        )
+        payload = _round_trip(table1_to_dict, table1_from_dict, rows)
+        assert payload["rows"][0]["benchmark"] == "pamap"
+
+    def test_table1_volatile_defaults_to_zero(self, test_scale):
+        rows = run_table1(
+            benchmarks=("pamap",), flavors=(True,), scale=test_scale, seed=21
+        )
+        scrubbed, _ = split_volatile(
+            table1_to_dict(rows), {"reasoning_seconds"}
+        )
+        rebuilt = table1_from_dict(scrubbed)
+        assert rebuilt[0].reasoning_seconds == 0.0
+        assert rebuilt[0].oracle_queries == rows[0].oracle_queries
+
+    def test_fig3(self, test_scale):
+        result = run_fig3(scale=test_scale, seed=22)
+        payload = _round_trip(Fig3Result.to_dict, Fig3Result.from_dict, result)
+        assert len(payload["distances"]) == result.distances.size
+
+    def test_fig56(self, test_scale):
+        for result in (
+            run_fig5(scale=test_scale, seed=23),
+            run_fig6(scale=test_scale, seed=23),
+        ):
+            payload = _round_trip(
+                Fig56Result.to_dict, Fig56Result.from_dict, result
+            )
+            assert len(payload["panels"]) == 4
+
+    def test_fig7(self):
+        result = run_fig7()
+        payload = _round_trip(Fig7Result.to_dict, Fig7Result.from_dict, result)
+        # Registry keys are JSON strings; from_dict restores int pools.
+        assert set(payload["curves_7b"]) == {"100", "300", "500", "700"}
+        clone = Fig7Result.from_dict(payload)
+        assert clone.checkpoints_match
+
+    def test_fig8(self, test_scale):
+        result = run_fig8(
+            benchmarks=("pamap",),
+            flavors=(True,),
+            layers=(0, 1),
+            scale=test_scale,
+            seed=24,
+        )
+        payload = _round_trip(Fig8Result.to_dict, Fig8Result.from_dict, result)
+        assert len(payload["cells"]) == 2
+
+    def test_fig9(self):
+        result = run_fig9()
+        payload = _round_trip(Fig9Result.to_dict, Fig9Result.from_dict, result)
+        clone = Fig9Result.from_dict(payload)
+        assert clone.overhead_at(1) == result.overhead_at(1)
+
+    def test_ablations(self, test_scale):
+        result = run_ablations(scale=test_scale, seed=25)
+        payload = _round_trip(
+            lambda r: r.to_dict(),
+            type(result).from_dict,
+            result,
+        )
+        assert payload["layer_cost"]["relative_time_l1"] == pytest.approx(1.0)
+
+    def test_sweeps(self):
+        result = SweepsResult(
+            recovery=recovery_vs_dim(
+                dims=(256,), n_features=24, levels=4, seed=26
+            ),
+            margins=margin_vs_features(
+                feature_counts=(32,), dim=512, levels=4, seed=26
+            ),
+        )
+        payload = _round_trip(
+            SweepsResult.to_dict, SweepsResult.from_dict, result
+        )
+        assert len(payload["recovery"]) == 1 and len(payload["margins"]) == 1
+
+    def test_registry_round_trip_contract(self):
+        """Every registry entry exposes matching to_dict/from_dict."""
+        for spec in EXPERIMENTS.values():
+            assert callable(spec.to_dict)
+            assert callable(spec.from_dict)
+            assert callable(spec.render)
