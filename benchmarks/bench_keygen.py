@@ -1,0 +1,149 @@
+"""Fleet provisioning benchmarks: bulk keygen, key store, re-lock.
+
+Answers the three questions a rollout plan needs numbers for — how many
+keys per second provisioning sustains (and its speedup over the scalar
+reference loop), how many bytes per key the packed store spends at rest
+relative to the information floor, and how long re-locking one deployed
+device takes end to end (fresh key + feature re-derivation).
+
+Results accumulate in one payload written to ``BENCH_provisioning.json``
+at module teardown, alongside the population-scale collision /
+guessability report for the measured fleet shape — the file the nightly
+CI job uploads as a machine-readable artifact.
+
+Timings are taken with ``perf_counter`` directly rather than
+pytest-benchmark calibration: each body is a single deliberate run at
+fleet scale, and the derived metrics (keys/sec, speedup, bytes/key) are
+the product, not the raw wall time.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.hdlock.keygen import generate_key_reference, generate_keys
+from repro.hdlock.keystore import KeyStore
+from repro.hdlock.lock import create_locked_encoder, rotate_system
+from repro.hv.capacity import fleet_key_report
+from repro.memory.key import storage_bits_per_key
+
+ARTIFACT = Path("BENCH_provisioning.json")
+
+#: MNIST feature count at key depth 2 — the paper's headline key shape.
+N_FEATURES, LAYERS, POOL = 784, 2, 784
+
+#: Keys in the scalar reference loop sample (looping the whole fleet
+#: through the per-key path would take minutes for no extra precision).
+LOOP_SAMPLE = 16
+
+RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_artifact():
+    """Write the collected payload once after the module's benches ran."""
+    yield
+    if RESULTS:
+        ARTIFACT.write_text(json.dumps(RESULTS, indent=2))
+
+
+@pytest.fixture(scope="module")
+def fleet_devices(request) -> int:
+    return 2_000 if request.config.getoption("--quick") else 100_000
+
+
+@pytest.fixture(scope="module")
+def fleet_batch(fleet_devices, bench_scale):
+    start = time.perf_counter()
+    batch = generate_keys(
+        fleet_devices, N_FEATURES, LAYERS, POOL, bench_scale.dim, rng=0
+    )
+    elapsed = time.perf_counter() - start
+    RESULTS["bulk_keygen"] = {
+        "n_devices": fleet_devices,
+        "n_features": N_FEATURES,
+        "layers": LAYERS,
+        "pool_size": POOL,
+        "dim": bench_scale.dim,
+        "seconds": elapsed,
+        "keys_per_second": fleet_devices / elapsed,
+    }
+    return batch
+
+
+def test_bulk_keygen_rate(fleet_batch, fleet_devices):
+    assert len(fleet_batch) == fleet_devices
+    print(
+        f"\nbulk keygen: {RESULTS['bulk_keygen']['keys_per_second']:,.0f} "
+        f"keys/s over {fleet_devices:,} devices"
+    )
+
+
+def test_reference_loop_rate_and_speedup(fleet_batch, bench_scale):
+    start = time.perf_counter()
+    for seed in range(LOOP_SAMPLE):
+        generate_key_reference(
+            N_FEATURES, LAYERS, POOL, bench_scale.dim, rng=seed
+        )
+    loop_rate = LOOP_SAMPLE / (time.perf_counter() - start)
+    speedup = RESULTS["bulk_keygen"]["keys_per_second"] / loop_rate
+    RESULTS["reference_loop"] = {
+        "sample": LOOP_SAMPLE,
+        "keys_per_second": loop_rate,
+        "bulk_speedup": speedup,
+    }
+    print(f"\nreference loop: {loop_rate:,.1f} keys/s ({speedup:.1f}x slower)")
+
+
+def test_bytes_per_key_at_rest(tmp_path, fleet_batch, bench_scale):
+    store = KeyStore.create(
+        tmp_path / "ks", N_FEATURES, LAYERS, POOL, bench_scale.dim
+    )
+    start = time.perf_counter()
+    store.append(fleet_batch)
+    append_seconds = time.perf_counter() - start
+    floor_bits = storage_bits_per_key(
+        N_FEATURES, LAYERS, POOL, bench_scale.dim
+    )
+    RESULTS["key_store"] = {
+        "stride_bytes_per_key": store.stride_bytes,
+        "floor_bits_per_key": floor_bits,
+        "floor_ratio": store.stride_bytes * 8 / floor_bits,
+        "bulk_append_seconds": append_seconds,
+    }
+    # acceptance: at-rest bytes/key within 1.25x of the packed floor
+    assert store.stride_bytes * 8 <= floor_bits * 1.25
+    print(
+        f"\nat rest: {store.stride_bytes} B/key "
+        f"({RESULTS['key_store']['floor_ratio']:.2f}x floor)"
+    )
+
+
+def test_relock_latency(bench_scale, quick):
+    levels = 16
+    system = create_locked_encoder(
+        N_FEATURES, levels, bench_scale.dim, layers=LAYERS, rng=7
+    )
+    rounds = 1 if quick else 3
+    start = time.perf_counter()
+    for round_id in range(rounds):
+        system = rotate_system(system, rng=round_id)
+    per_relock = (time.perf_counter() - start) / rounds
+    RESULTS["relock"] = {
+        "rounds": rounds,
+        "seconds_per_relock": per_relock,
+        "dim": bench_scale.dim,
+        "levels": levels,
+    }
+    print(f"\nre-lock: {per_relock * 1e3:.0f} ms/device")
+
+
+def test_fleet_report_attached(fleet_devices, bench_scale):
+    RESULTS["fleet_report"] = fleet_key_report(
+        fleet_devices, N_FEATURES, LAYERS, POOL, bench_scale.dim
+    ).to_dict()
+    assert RESULTS["fleet_report"]["collision_probability"] == 0.0

@@ -57,6 +57,28 @@ pinned by ``tests/encoding/test_packed_path.py``. Everything is
 bit-exact with the dense path, tie stream included: packed outputs
 equal ``pack_words(encode_batch(..., binary=True))`` word for word.
 
+Fleet key lifecycle
+-------------------
+
+HDLock's deployment unit is one privileged key per device, so the
+package models provisioning at population scale.
+:func:`~repro.hdlock.generate_keys` draws a whole fleet's
+``(n_devices, N, L)`` key material in batched generator calls with
+vectorized distinctness enforcement, returning a
+:class:`~repro.memory.KeyBatch` whose per-device
+:class:`~repro.memory.LockKey` views materialize zero-copy. At rest,
+keys live in the packed, memory-mapped
+:class:`~repro.hdlock.KeyStore` — fixed-stride records bit-packed at
+the ``ceil(log2 P) + ceil(log2 D)`` bits-per-pair floor, O(1) random
+access by device id, bulk append, and a JSON header persisting the
+revocation list and rotation generation.
+:func:`~repro.hdlock.rotate_system` re-locks a deployed system with a
+fresh key at bounded cost (no public artifact changes), and
+:func:`~repro.hv.fleet_key_report` quantifies population-scale key
+collision and guessability. ``benchmarks/bench_keygen.py`` tracks
+keys/sec, bytes/key at rest, and re-lock latency as the
+machine-readable ``BENCH_provisioning.json`` snapshot.
+
 Quickstart::
 
     from repro import (
@@ -100,16 +122,26 @@ from repro.encoding import (
 from repro.errors import ReproError
 from repro.hardware import DatapathConfig, encoding_cycles, relative_encoding_time
 from repro.hdlock import (
+    KeyStore,
     LockedSystem,
     create_locked_encoder,
     generate_key,
+    generate_keys,
     lock_encoder,
     lock_model,
+    rotate_system,
     security_level_bits,
     tradeoff_table,
 )
-from repro.hv import DEFAULT_DIM
-from repro.memory import FeatureMemory, LevelMemory, LockKey, SecureMemory, SubKey
+from repro.hv import DEFAULT_DIM, fleet_key_report
+from repro.memory import (
+    FeatureMemory,
+    KeyBatch,
+    LevelMemory,
+    LockKey,
+    SecureMemory,
+    SubKey,
+)
 from repro.model import HDClassifier, train_model
 
 __version__ = "1.1.0"
@@ -160,6 +192,12 @@ __all__ = [
     "LockedSystem",
     "security_level_bits",
     "tradeoff_table",
+    # fleet key lifecycle
+    "generate_keys",
+    "KeyBatch",
+    "KeyStore",
+    "rotate_system",
+    "fleet_key_report",
     # hardware model
     "DatapathConfig",
     "encoding_cycles",

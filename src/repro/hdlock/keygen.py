@@ -1,4 +1,4 @@
-"""HDLock key generation.
+"""HDLock key generation — single keys and fleet-scale bulk batches.
 
 A key assigns every feature ``L`` (base index, rotation) pairs drawn
 uniformly from ``[0, P) x [0, D)``. Two constraints beyond uniformity:
@@ -12,31 +12,40 @@ uniformly from ``[0, P) x [0, D)``. Two constraints beyond uniformity:
 
 Both events are vanishingly rare for paper-scale ``P * D`` but cheap to
 rule out, so the generator enforces them.
+
+The workhorse is :func:`generate_keys`: it draws all
+``(n_devices, N, L)`` pairs in batched :meth:`numpy.random.Generator.
+integers` calls (one 63-bit code ``index * D + rotation`` per pair) and
+enforces both distinctness constraints with vectorized sort + compare
+passes instead of per-pair Python loops — the difference between
+minutes and milliseconds per thousand devices at fleet scale.
+:func:`generate_key` is the single-device wrapper over the same core,
+so ``generate_keys(1, ...)`` and ``generate_key(...)`` are identical
+for identical seeds by construction.
 """
 
 from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.errors import ConfigurationError
-from repro.memory.key import LockKey, SubKey
+from repro.memory.key import KeyBatch, LockKey, SubKey
 from repro.utils.rng import SeedLike, resolve_rng
 
+__all__ = [
+    "generate_key",
+    "generate_key_reference",
+    "generate_keys",
+    "identity_like_key",
+]
 
-def generate_key(
-    n_features: int,
-    layers: int,
-    pool_size: int,
-    dim: int,
-    rng: SeedLike = None,
-) -> LockKey:
-    """Draw a uniform random HDLock key.
 
-    ``layers`` is the paper's ``L`` (key depth), ``pool_size`` its ``P``.
-    Raises :class:`ConfigurationError` when the requested key space is
-    too small to satisfy the distinctness constraints (e.g. more layers
-    than available pairs).
-    """
+def _check_key_shape(
+    n_features: int, layers: int, pool_size: int, dim: int
+) -> int:
+    """Validate a key shape; returns the (index, rotation) pair space."""
     if n_features < 1:
         raise ConfigurationError(f"n_features must be >= 1, got {n_features}")
     if layers < 1:
@@ -46,6 +55,10 @@ def generate_key(
             f"pool_size and dim must be >= 1, got {pool_size} and {dim}"
         )
     pair_space = pool_size * dim
+    if pair_space > np.iinfo(np.int64).max:
+        raise ConfigurationError(
+            f"pair space P * D = {pair_space} exceeds the int64 code range"
+        )
     if layers > pair_space:
         raise ConfigurationError(
             f"cannot pick {layers} distinct (index, rotation) pairs from a "
@@ -61,12 +74,252 @@ def generate_key(
             f"for P={pool_size}, D={dim}, L={layers}; cannot key "
             f"{n_features} features"
         )
+    return pair_space
 
+
+def _code_dtype(pair_space: int) -> np.dtype:
+    """Narrowest draw dtype covering codes in ``[0, pair_space)``.
+
+    uint32 halves the memory traffic of the fleet-scale draw + sort
+    whenever ``P * D`` fits (it always does for deployable models).
+    """
+    return np.dtype(np.uint32 if pair_space <= (1 << 32) else np.int64)
+
+
+#: Element budget per dedup-scan chunk (~64 MB of uint64 scratch). The
+#: scans deliberately stream through one small reusable buffer: GB-scale
+#: *fresh* allocations pay a first-touch page-fault storm on constrained
+#: hosts (observed 10-20 s per GB, dwarfing the arithmetic), while a
+#: chunk-sized scratch is faulted in once and recycled thereafter.
+_SCAN_CHUNK_ELEMENTS = 8 << 20
+
+
+def _duplicate_rows(codes: np.ndarray) -> np.ndarray:
+    """Row ids (leading axis) whose sorted codes repeat a value.
+
+    Streamed in chunks so the comparison scratch stays small enough for
+    the allocator to recycle (see ``_SCAN_CHUNK_ELEMENTS``).
+    """
+    rows, layers = codes.shape
+    chunk = max(1, _SCAN_CHUNK_ELEMENTS // max(layers - 1, 1))
+    hits: list[np.ndarray] = []
+    for start in range(0, rows, chunk):
+        block = codes[start : start + chunk]
+        repeated = (block[:, 1:] == block[:, :-1]).any(axis=-1)
+        found = np.nonzero(repeated)[0]
+        if found.size:
+            hits.append(found + start)
+    if not hits:
+        return np.empty(0, dtype=np.intp)
+    return np.concatenate(hits)
+
+
+def _draw_sorted_subkeys(
+    gen: np.random.Generator, count: int, layers: int, pair_space: int
+) -> np.ndarray:
+    """Draw ``(count, layers)`` sorted pair codes, distinct within a row.
+
+    Rejection sampling on whole rows: a row with a repeated code is
+    redrawn, which conditions the i.i.d. uniform draw on all-distinct —
+    the resulting code *set* per row is uniform over size-``layers``
+    subsets of the pair space, exactly the distribution of the original
+    per-pair Python loop. Collisions are ``layers^2 / pair_space``-rare,
+    so the expected number of passes is ~1 at any realistic size.
+    """
+    dtype = _code_dtype(pair_space)
+    codes = gen.integers(0, pair_space, size=(count, layers), dtype=dtype)
+    codes.sort(axis=-1)
+    if layers == 1:
+        return codes
+    while True:
+        bad = _duplicate_rows(codes)
+        if bad.size == 0:
+            return codes
+        fresh = gen.integers(
+            0, pair_space, size=(bad.size, layers), dtype=dtype
+        )
+        fresh.sort(axis=-1)
+        codes[bad] = fresh
+
+
+def _subkey_fingerprints(codes: np.ndarray, pair_space: int) -> np.ndarray:
+    """One scalar per subkey such that equal rows get equal scalars.
+
+    Three tiers, cheapest first. When a subkey's raw bytes fit one
+    machine word, the fingerprint is a zero-copy byte *view* — equal
+    rows have equal bytes, and the dedup scan only needs an equality
+    grouping, not a meaningful order. When the ``L`` codes fit 63 bits
+    the fingerprint is an exact bit-packing. Wider shapes fall back to
+    an FNV-style 64-bit mix, where a *hash* equality only nominates a
+    device for the exact per-device confirmation pass in
+    :func:`_redraw_duplicate_subkeys` — duplicates can never be missed,
+    spurious matches cost one cheap recheck.
+    """
+    layers = codes.shape[2]
+    if layers == 1:
+        return codes[:, :, 0]
+    if layers * codes.dtype.itemsize == 8 and codes.flags.c_contiguous:
+        return codes.view(np.uint64)[:, :, 0]
+    bits = int(pair_space - 1).bit_length()
+    if layers * bits <= 63:
+        packed = codes[:, :, 0].astype(np.int64)
+        for level in range(1, layers):
+            packed = (packed << bits) | codes[:, :, level].astype(np.int64)
+        return packed
+    mixed = np.zeros(codes.shape[:2], dtype=np.uint64)
+    for level in range(layers):
+        mixed = (mixed * np.uint64(0x100000001B3)) ^ codes[:, :, level].astype(
+            np.uint64
+        )
+    return mixed
+
+
+def _redraw_duplicate_subkeys(
+    gen: np.random.Generator,
+    codes: np.ndarray,
+    pair_space: int,
+) -> None:
+    """Make the ``N`` subkeys of every device pairwise distinct, in place.
+
+    ``codes`` is ``(n_devices, N, L)`` with each subkey row already
+    sorted. Each subkey collapses to a scalar fingerprint (zero-copy at
+    fleet shapes), device chunks are copied into one warm scratch buffer
+    and sorted in place along the feature axis, and an adjacent-equal
+    compare flags devices with repeated fingerprints — only those rare
+    devices pay an exact duplicate-position scan. Later occurrences are
+    redrawn (first kept, mirroring the sequential rejection of the
+    scalar reference) until every device is collision-free.
+    """
+    n_devices, n_features, layers = codes.shape
+    chunk = max(1, _SCAN_CHUNK_ELEMENTS // n_features)
+    scratch = np.empty((min(chunk, n_devices), n_features), dtype=np.uint64)
+    while True:
+        suspects: list[int] = []
+        for start in range(0, n_devices, chunk):
+            block = codes[start : start + chunk]
+            ranked = scratch[: block.shape[0]]
+            # unsafe cast: fingerprints are non-negative, and the scan
+            # only groups equal values, so int64 -> uint64 is lossless
+            np.copyto(
+                ranked,
+                _subkey_fingerprints(block, pair_space),
+                casting="unsafe",
+            )
+            ranked.sort(axis=1)
+            repeated = np.nonzero(
+                (ranked[:, 1:] == ranked[:, :-1]).any(axis=1)
+            )[0]
+            suspects.extend((repeated + start).tolist())
+        if not suspects:
+            return
+        bad_devices: list[int] = []
+        bad_positions: list[int] = []
+        for device in suspects:
+            _, inverse = np.unique(codes[device], axis=0, return_inverse=True)
+            seen: set[int] = set()
+            for position, group in enumerate(inverse.tolist()):
+                if group in seen:
+                    bad_devices.append(device)
+                    bad_positions.append(position)
+                else:
+                    seen.add(group)
+        if not bad_devices:  # hash-collision nominees only, nothing real
+            return
+        codes[bad_devices, bad_positions] = _draw_sorted_subkeys(
+            gen, len(bad_devices), layers, pair_space
+        )
+
+
+def generate_keys(
+    n_devices: int,
+    n_features: int,
+    layers: int,
+    pool_size: int,
+    dim: int,
+    rng: SeedLike = None,
+) -> KeyBatch:
+    """Draw uniform random HDLock keys for a whole device fleet at once.
+
+    ``layers`` is the paper's ``L`` (key depth), ``pool_size`` its ``P``.
+    All ``n_devices * N * L`` (index, rotation) pairs come from batched
+    generator calls; both distinctness constraints (within-subkey pairs,
+    across-feature subkeys) are enforced with vectorized sort + unique
+    passes. Keys of *different* devices may collide — at fleet scale
+    that probability is astronomically small; quantify it with
+    :func:`repro.hv.capacity.fleet_key_report`.
+
+    Raises :class:`ConfigurationError` when the requested key space is
+    too small to satisfy the distinctness constraints (e.g. more layers
+    than available pairs).
+    """
+    if n_devices < 1:
+        raise ConfigurationError(f"n_devices must be >= 1, got {n_devices}")
+    pair_space = _check_key_shape(n_features, layers, pool_size, dim)
+    gen = resolve_rng(rng)
+    codes = _draw_sorted_subkeys(
+        gen, n_devices * n_features, layers, pair_space
+    ).reshape(n_devices, n_features, layers)
+    _redraw_duplicate_subkeys(gen, codes, pair_space)
+    # int32 halves the resident fleet footprint; P and D are each far
+    # below 2**31 for any deployable model (the pair *space* may not be,
+    # which is why codes may need the wider draw dtype). The rotations
+    # reuse the draw buffer in place — one fewer GB-scale first-touch
+    # allocation at fleet scale.
+    out_dtype = np.dtype(
+        np.int32 if max(pool_size, dim) <= np.iinfo(np.int32).max else np.int64
+    )
+    divisor = codes.dtype.type(dim)
+    indices = np.floor_divide(codes, divisor)
+    np.remainder(codes, divisor, out=codes)
+    rotations = codes
+    if indices.dtype.itemsize == out_dtype.itemsize:
+        # e.g. uint32 -> int32: values are < max(P, D) <= int32 max, so
+        # the reinterpreting view is value-preserving and copy-free
+        indices = indices.view(out_dtype)
+        rotations = rotations.view(out_dtype)
+    else:
+        indices = indices.astype(out_dtype, copy=False)
+        rotations = rotations.astype(out_dtype, copy=False)
+    return KeyBatch(indices, rotations, pool_size=pool_size, dim=dim)
+
+
+def generate_key(
+    n_features: int,
+    layers: int,
+    pool_size: int,
+    dim: int,
+    rng: SeedLike = None,
+) -> LockKey:
+    """Draw a uniform random HDLock key for a single device.
+
+    Thin wrapper over the vectorized bulk path: for identical seeds,
+    ``generate_key(...)`` equals ``generate_keys(1, ...).key(0)`` bit
+    for bit. Raises :class:`ConfigurationError` on infeasible shapes,
+    same as :func:`generate_keys`.
+    """
+    return generate_keys(1, n_features, layers, pool_size, dim, rng).key(0)
+
+
+def generate_key_reference(
+    n_features: int,
+    layers: int,
+    pool_size: int,
+    dim: int,
+    rng: SeedLike = None,
+) -> LockKey:
+    """Per-pair scalar reference generator (the pre-vectorization loop).
+
+    Retained as the behavioral baseline for the bulk path, mirroring
+    ``encode_batch_reference`` on the encoding side: the distribution-
+    parity tests compare :func:`generate_keys` marginals against this
+    loop, and the fleet-scale perf gate measures its speedup over it.
+    Draws scalar-at-a-time, so its seeded output differs from
+    :func:`generate_key` — only the *distribution* is identical.
+    """
+    _check_key_shape(n_features, layers, pool_size, dim)
     gen = resolve_rng(rng)
     seen_subkeys: set[tuple[tuple[int, ...], tuple[int, ...]]] = set()
     subkeys: list[SubKey] = []
-    # Rejection sampling: collisions are (layers^2 / pair_space)-rare, so
-    # the expected number of retries is negligible at any realistic size.
     while len(subkeys) < n_features:
         pairs: set[tuple[int, int]] = set()
         while len(pairs) < layers:

@@ -104,6 +104,34 @@ def lock_encoder(
     )
 
 
+def rotate_system(system: LockedSystem, rng: SeedLike = None) -> LockedSystem:
+    """Re-lock a deployed system under a fresh key (key rotation).
+
+    The bounded-cost property of HDLock rotation: the public artifacts —
+    base pool and level memory — are untouched, so nothing redeploys to
+    device flash. Only the secret changes: one key draw plus one
+    derived-feature-matrix rebuild (:mod:`repro.hdlock.feature_factory`
+    inside the new encoder), independent of fleet size and of any
+    training data. Trained class hypervectors were accumulated under the
+    old feature HVs and must be retrained, exactly as after
+    :meth:`~repro.encoding.locked.LockedEncoder.rekey`.
+    """
+    key_rng, tie_rng = spawn_rngs(rng, 2)
+    key = generate_key(
+        system.key.n_features,
+        system.key.layers,
+        system.pool_size,
+        system.key.dim,
+        key_rng,
+    )
+    encoder = system.encoder.rekey(key, tie_rng)
+    secure = SecureMemory()
+    secure.store("lock_key", key)
+    return LockedSystem(
+        encoder=encoder, key=key, base_pool=system.base_pool, secure_memory=secure
+    )
+
+
 def lock_model(
     encoder: RecordEncoder,
     train_x: np.ndarray,

@@ -5,18 +5,27 @@ A real HDLock rollout writes two artifacts with different trust levels:
 * the **public bundle** — bit-packed base pool and value memory plus a
   manifest with shapes and SHA-256 checksums. This goes to ordinary
   device flash; per the threat model the adversary can read all of it.
-* the **key file** — the ``LockKey`` JSON. This goes to the tamper-proof
-  store and never ships next to the bundle.
+* the **key material** — either a single ``LockKey`` JSON file
+  (:func:`save_key`, owner-only ``0o600`` permissions) or, for fleets,
+  a packed :class:`~repro.hdlock.keystore.KeyStore`
+  (:func:`save_fleet_keys`). Both are destined for the tamper-proof
+  store and never ship next to the bundle.
 
 Loading verifies the checksums, so a tampered pool (a known class of
 attacks against stored models) is detected before the encoder is
-reconstructed.
+reconstructed, and cross-checks the manifest's declared shapes against
+the arrays actually on disk, so a manifest inconsistent with its
+payload fails loudly instead of unpacking garbage. Every loader honors
+the package error contract: missing or truncated files surface as
+:class:`ConfigurationError` (bundle) or :class:`KeyFormatError` (key
+material), never as raw ``OSError``/``ValueError``.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -24,9 +33,10 @@ import numpy as np
 
 from repro.encoding.locked import LockedEncoder
 from repro.errors import ConfigurationError, KeyFormatError
+from repro.hdlock.keystore import HEADER_FILE, KeyStore
 from repro.hv.packing import pack, unpack
 from repro.memory.item_memory import LevelMemory
-from repro.memory.key import LockKey
+from repro.memory.key import KeyBatch, LockKey
 from repro.utils.rng import SeedLike
 
 #: File names inside a bundle directory.
@@ -34,6 +44,9 @@ POOL_FILE = "base_pool.npy"
 VALUES_FILE = "value_memory.npy"
 MANIFEST_FILE = "manifest.json"
 KEY_FILE = "lock_key.json"
+
+#: Subdirectory holding the fleet key store next to single-key escrow.
+KEYSTORE_DIR = "keystore"
 
 
 @dataclass(frozen=True)
@@ -64,7 +77,7 @@ class BundleManifest:
         """Parse a manifest; raises on malformed content."""
         try:
             payload = json.loads(text)
-            return cls(
+            manifest = cls(
                 dim=int(payload["dim"]),
                 pool_size=int(payload["pool_size"]),
                 levels=int(payload["levels"]),
@@ -73,6 +86,13 @@ class BundleManifest:
             )
         except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
             raise ConfigurationError(f"malformed bundle manifest: {exc}") from exc
+        if min(manifest.dim, manifest.pool_size, manifest.levels) < 1:
+            raise ConfigurationError(
+                f"bundle manifest declares a degenerate shape: dim="
+                f"{manifest.dim}, pool_size={manifest.pool_size}, "
+                f"levels={manifest.levels}"
+            )
+        return manifest
 
 
 def _digest(packed: np.ndarray) -> str:
@@ -104,12 +124,39 @@ def save_public_bundle(
 
 
 def save_key(directory: str | Path, key: LockKey) -> Path:
-    """Write the key JSON (destined for tamper-proof storage)."""
+    """Write the key JSON (destined for tamper-proof storage).
+
+    The file is created with owner-only ``0o600`` permissions — the key
+    is the secret the whole scheme rests on, so it must never be
+    world-readable even while it transits an owner-side filesystem.
+    """
     path = Path(directory)
     path.mkdir(parents=True, exist_ok=True)
     key_path = path / KEY_FILE
-    key_path.write_text(key.to_json())
+    fd = os.open(key_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o600)
+    with os.fdopen(fd, "w") as fh:
+        fh.write(key.to_json())
+    # A pre-existing file keeps its old mode through os.open; pin it.
+    os.chmod(key_path, 0o600)
     return key_path
+
+
+def _load_packed(path: Path, what: str) -> np.ndarray:
+    """Load one packed ``.npy`` array, normalizing failure modes."""
+    try:
+        arr = np.load(path)
+    except OSError as exc:
+        raise ConfigurationError(f"bundle {what} unreadable at {path}: {exc}") from exc
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"bundle {what} at {path} is corrupt or truncated: {exc}"
+        ) from exc
+    if arr.ndim != 2 or arr.dtype != np.uint8:
+        raise ConfigurationError(
+            f"bundle {what} at {path} is not a packed (K, ceil(D/8)) uint8 "
+            f"array (got shape {arr.shape}, dtype {arr.dtype})"
+        )
+    return arr
 
 
 def load_public_bundle(
@@ -117,13 +164,37 @@ def load_public_bundle(
 ) -> tuple[np.ndarray, LevelMemory, BundleManifest]:
     """Read and integrity-check a public bundle.
 
-    Raises :class:`ConfigurationError` when a checksum does not match —
-    a tampered pool must never silently reach the encoder.
+    Raises :class:`ConfigurationError` when any piece is missing or
+    corrupt, when the manifest's declared shapes disagree with the
+    arrays actually loaded, or when a checksum does not match — a
+    tampered pool must never silently reach the encoder.
     """
     path = Path(directory)
-    manifest = BundleManifest.from_json((path / MANIFEST_FILE).read_text())
-    packed_pool = np.load(path / POOL_FILE)
-    packed_values = np.load(path / VALUES_FILE)
+    try:
+        manifest_text = (path / MANIFEST_FILE).read_text()
+    except OSError as exc:
+        raise ConfigurationError(
+            f"bundle manifest unreadable at {path / MANIFEST_FILE}: {exc}"
+        ) from exc
+    manifest = BundleManifest.from_json(manifest_text)
+    packed_pool = _load_packed(path / POOL_FILE, "base pool")
+    packed_values = _load_packed(path / VALUES_FILE, "value memory")
+    # Cross-check declared shapes against the loaded arrays *before*
+    # unpacking: np.unpackbits(count=dim) on a pool packed for a
+    # different width would either explode or silently mis-slice.
+    packed_width = -(-manifest.dim // 8)
+    if packed_pool.shape != (manifest.pool_size, packed_width):
+        raise ConfigurationError(
+            f"base pool shape {packed_pool.shape} inconsistent with "
+            f"manifest (pool_size={manifest.pool_size}, dim={manifest.dim} "
+            f"-> expected {(manifest.pool_size, packed_width)})"
+        )
+    if packed_values.shape != (manifest.levels, packed_width):
+        raise ConfigurationError(
+            f"value memory shape {packed_values.shape} inconsistent with "
+            f"manifest (levels={manifest.levels}, dim={manifest.dim} "
+            f"-> expected {(manifest.levels, packed_width)})"
+        )
     if _digest(packed_pool) != manifest.pool_sha256:
         raise ConfigurationError(
             f"base pool in {path} fails its integrity check"
@@ -138,8 +209,54 @@ def load_public_bundle(
 
 
 def load_key(path: str | Path) -> LockKey:
-    """Read a key file written by :func:`save_key`."""
-    return LockKey.from_json(Path(path).read_text())
+    """Read a key file written by :func:`save_key`.
+
+    Raises :class:`KeyFormatError` when the file is missing, unreadable
+    or malformed (the :meth:`LockKey.from_json` contract).
+    """
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise KeyFormatError(f"key file unreadable at {path}: {exc}") from exc
+    return LockKey.from_json(text)
+
+
+def save_fleet_keys(directory: str | Path, batch: KeyBatch) -> KeyStore:
+    """Persist a fleet key batch into the bundle's packed key store.
+
+    Creates ``directory/keystore`` on first use (appends on subsequent
+    calls) and bulk-appends the batch. Like :func:`save_key`, the store
+    lives apart from the public bundle trust-wise — callers ship the
+    bundle, not this directory.
+    """
+    store_dir = Path(directory) / KEYSTORE_DIR
+    if (store_dir / HEADER_FILE).exists():
+        store = KeyStore.open(store_dir)
+    else:
+        store = KeyStore.create(
+            store_dir,
+            n_features=batch.n_features,
+            layers=batch.layers,
+            pool_size=batch.pool_size,
+            dim=batch.dim,
+        )
+    store.append(batch)
+    return store
+
+
+def open_fleet_store(directory: str | Path) -> KeyStore:
+    """Open the key store provisioned under ``directory`` by
+    :func:`save_fleet_keys`."""
+    return KeyStore.open(Path(directory) / KEYSTORE_DIR)
+
+
+def load_fleet_key(directory: str | Path, device_id: int) -> LockKey:
+    """O(1) load of one device's key from the fleet store.
+
+    Refuses revoked devices (:class:`KeyFormatError`), so a service path
+    using this helper can never hand out a revoked key.
+    """
+    return open_fleet_store(directory).key(device_id)
 
 
 def restore_encoder(
@@ -157,3 +274,10 @@ def restore_encoder(
             f"(P={manifest.pool_size}, D={manifest.dim})"
         )
     return LockedEncoder(pool, values, key, rng=rng)
+
+
+def restore_device_encoder(
+    directory: str | Path, device_id: int, rng: SeedLike = None
+) -> LockedEncoder:
+    """Rebuild one fleet device's locked encoder: bundle + store key."""
+    return restore_encoder(directory, load_fleet_key(directory, device_id), rng)

@@ -251,7 +251,9 @@ def pairwise_hamming_packed(
             f"packed widths differ: {a_arr.shape[1]} vs {b_arr.shape[1]}"
         )
     if dim is None:
-        raise ValueError("dim (unpacked dimension) is required")
+        # Same contract as every sibling kernel: shape/metadata problems
+        # surface as DimensionMismatchError, never a bare ValueError.
+        raise DimensionMismatchError("dim (unpacked dimension) is required")
     chunk = max(1, 256 if chunk_size is None else int(chunk_size))
     out = np.empty((a_arr.shape[0], b_arr.shape[0]), dtype=np.float64)
     for start in range(0, a_arr.shape[0], chunk):

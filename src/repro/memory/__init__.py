@@ -1,14 +1,16 @@
 """Memory model: item memories, the public/secure split, HDLock keys."""
 
 from repro.memory.item_memory import FeatureMemory, LevelMemory
-from repro.memory.key import LockKey, SubKey
+from repro.memory.key import KeyBatch, LockKey, SubKey, storage_bits_per_key
 from repro.memory.secure import OWNER, AccessRecord, PublicMemory, SecureMemory
 
 __all__ = [
     "FeatureMemory",
     "LevelMemory",
+    "KeyBatch",
     "LockKey",
     "SubKey",
+    "storage_bits_per_key",
     "PublicMemory",
     "SecureMemory",
     "AccessRecord",

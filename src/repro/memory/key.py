@@ -10,6 +10,19 @@ index ``index(i, l)`` in ``[0, P)`` and the rotation ``k_{i,l}`` in
 ``[0, D)``. That is ``N * L * (ceil(log2 P) + ceil(log2 D))`` bits —
 kilobits for paper-scale models, versus megabytes for the hypervectors
 themselves, which is why the key fits in tamper-proof memory.
+
+Two representations coexist:
+
+* :class:`LockKey` is the single-device container. It is array-backed:
+  the authoritative state is a pair of ``(N, L)`` integer arrays, and
+  the :class:`SubKey` object view is materialized lazily only when a
+  caller actually iterates ``key.subkeys`` — bulk flows
+  (:func:`repro.hdlock.keygen.generate_keys`, the key store) never pay
+  for ``N`` tuple objects per device.
+* :class:`KeyBatch` is the fleet container: ``(n_devices, N, L)``
+  index/rotation arrays plus the shared pool/dimension metadata. It is
+  what vectorized bulk keygen returns and what
+  :class:`repro.hdlock.keystore.KeyStore` appends from.
 """
 
 from __future__ import annotations
@@ -22,6 +35,27 @@ from typing import Iterator, Sequence, Tuple
 import numpy as np
 
 from repro.errors import KeyFormatError
+
+
+def storage_bits_per_key(
+    n_features: int, layers: int, pool_size: int, dim: int
+) -> int:
+    """Information-theoretic at-rest size of one key, in bits.
+
+    ``N * L * (ceil(log2 P) + ceil(log2 D))`` — the quantity compared
+    against the megabyte-scale hypervector memory in Sec. 3.1, and the
+    floor the packed key store is measured against.
+    """
+    index_bits = max(math.ceil(math.log2(pool_size)), 1)
+    rotation_bits = max(math.ceil(math.log2(dim)), 1)
+    return n_features * layers * (index_bits + rotation_bits)
+
+
+def _readonly_view(arr: np.ndarray) -> np.ndarray:
+    """A non-writeable view of ``arr`` (the base stays untouched)."""
+    view = arr.view()
+    view.flags.writeable = False
+    return view
 
 
 @dataclass(frozen=True)
@@ -56,8 +90,12 @@ class SubKey:
 
 
 class LockKey:
-    """The full HDLock key: one :class:`SubKey` per feature, plus the
-    pool/dimension metadata needed to validate and apply it."""
+    """The full HDLock key: per-feature (index, rotation) layers plus the
+    pool/dimension metadata needed to validate and apply it.
+
+    Array-backed: ``(N, L)`` index/rotation arrays are the authoritative
+    state; :attr:`subkeys` materializes the object view on first access.
+    """
 
     def __init__(
         self,
@@ -72,46 +110,81 @@ class LockKey:
             raise KeyFormatError(
                 f"all subkeys must share one layer count, got {sorted(layer_counts)}"
             )
-        self.subkeys = tuple(subkeys)
+        indices = np.array([sk.indices for sk in subkeys], dtype=np.int64)
+        rotations = np.array([sk.rotations for sk in subkeys], dtype=np.int64)
+        self._bind(indices, rotations, pool_size, dim)
+        self._subkeys: Tuple[SubKey, ...] | None = tuple(subkeys)
+
+    def _bind(
+        self,
+        indices: np.ndarray,
+        rotations: np.ndarray,
+        pool_size: int,
+        dim: int,
+    ) -> None:
+        self._indices = _readonly_view(indices)
+        self._rotations = _readonly_view(rotations)
         self.pool_size = int(pool_size)
         self.dim = int(dim)
         self._validate_ranges()
 
     def _validate_ranges(self) -> None:
-        for i, sk in enumerate(self.subkeys):
-            for index, rotation in sk.pairs():
-                if not 0 <= index < self.pool_size:
-                    raise KeyFormatError(
-                        f"feature {i}: base index {index} outside pool of "
-                        f"size {self.pool_size}"
-                    )
-                if not 0 <= rotation < self.dim:
-                    raise KeyFormatError(
-                        f"feature {i}: rotation {rotation} outside [0, {self.dim})"
-                    )
+        for name, arr, bound in (
+            ("base index", self._indices, self.pool_size),
+            ("rotation", self._rotations, self.dim),
+        ):
+            if int(arr.min()) < 0 or int(arr.max()) >= bound:
+                feature, layer = (
+                    int(v) for v in np.argwhere((arr < 0) | (arr >= bound))[0]
+                )
+                raise KeyFormatError(
+                    f"feature {feature}: {name} {int(arr[feature, layer])} "
+                    f"outside [0, {bound})"
+                )
+
+    @property
+    def subkeys(self) -> Tuple[SubKey, ...]:
+        """Object view of the key, one :class:`SubKey` per feature.
+
+        Built lazily — keys created through :meth:`from_arrays` (the
+        bulk path) never materialize it unless a caller asks.
+        """
+        if self._subkeys is None:
+            self._subkeys = tuple(
+                SubKey(tuple(int(v) for v in idx), tuple(int(v) for v in rot))
+                for idx, rot in zip(self._indices, self._rotations)
+            )
+        return self._subkeys
 
     @property
     def n_features(self) -> int:
         """Number of features ``N`` this key derives hypervectors for."""
-        return len(self.subkeys)
+        return int(self._indices.shape[0])
 
     @property
     def layers(self) -> int:
         """Number of key layers ``L``."""
-        return self.subkeys[0].layers
+        return int(self._indices.shape[1])
 
     def to_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
         """Return ``(indices, rotations)`` as two ``(N, L)`` int arrays,
-        the layout the vectorized feature factory consumes."""
-        idx = np.array([sk.indices for sk in self.subkeys], dtype=np.int64)
-        rot = np.array([sk.rotations for sk in self.subkeys], dtype=np.int64)
-        return idx, rot
+        the layout the vectorized feature factory consumes.
+
+        Zero-copy: the returned arrays are read-only views of the key's
+        own state, not fresh allocations.
+        """
+        return self._indices, self._rotations
 
     @classmethod
     def from_arrays(
         cls, indices: np.ndarray, rotations: np.ndarray, pool_size: int, dim: int
     ) -> "LockKey":
-        """Build a key from ``(N, L)`` index and rotation arrays."""
+        """Build a key from ``(N, L)`` index and rotation arrays.
+
+        Zero-copy fast path for bulk flows: integer input arrays are
+        adopted as-is (no per-:class:`SubKey` object materialization,
+        no element copies); validation runs vectorized.
+        """
         idx = np.asarray(indices)
         rot = np.asarray(rotations)
         if idx.shape != rot.shape or idx.ndim != 2:
@@ -119,11 +192,18 @@ class LockKey:
                 f"index/rotation arrays must share an (N, L) shape, got "
                 f"{idx.shape} and {rot.shape}"
             )
-        subkeys = [
-            SubKey(tuple(int(v) for v in idx[i]), tuple(int(v) for v in rot[i]))
-            for i in range(idx.shape[0])
-        ]
-        return cls(subkeys, pool_size=pool_size, dim=dim)
+        if idx.shape[0] == 0:
+            raise KeyFormatError("a lock key needs at least one subkey")
+        if idx.shape[1] == 0:
+            raise KeyFormatError("subkey needs at least one layer")
+        if not np.issubdtype(idx.dtype, np.integer):
+            idx = idx.astype(np.int64)
+        if not np.issubdtype(rot.dtype, np.integer):
+            rot = rot.astype(np.int64)
+        key = cls.__new__(cls)
+        key._bind(idx, rot, pool_size, dim)
+        key._subkeys = None
+        return key
 
     def storage_bits(self) -> int:
         """Secure-memory footprint of the key in bits.
@@ -131,17 +211,17 @@ class LockKey:
         ``N * L * (ceil(log2 P) + ceil(log2 D))`` — the quantity compared
         against the megabyte-scale hypervector memory in Sec. 3.1.
         """
-        index_bits = max(math.ceil(math.log2(self.pool_size)), 1)
-        rotation_bits = max(math.ceil(math.log2(self.dim)), 1)
-        return self.n_features * self.layers * (index_bits + rotation_bits)
+        return storage_bits_per_key(
+            self.n_features, self.layers, self.pool_size, self.dim
+        )
 
     def to_json(self) -> str:
         """Serialize to a JSON string (owner-side key escrow format)."""
         payload = {
             "pool_size": self.pool_size,
             "dim": self.dim,
-            "indices": [list(sk.indices) for sk in self.subkeys],
-            "rotations": [list(sk.rotations) for sk in self.subkeys],
+            "indices": [[int(v) for v in row] for row in self._indices],
+            "rotations": [[int(v) for v in row] for row in self._rotations],
         }
         return json.dumps(payload)
 
@@ -164,11 +244,104 @@ class LockKey:
         return (
             self.pool_size == other.pool_size
             and self.dim == other.dim
-            and self.subkeys == other.subkeys
+            and np.array_equal(self._indices, other._indices)
+            and np.array_equal(self._rotations, other._rotations)
         )
 
     def __repr__(self) -> str:
         return (
             f"LockKey(n_features={self.n_features}, layers={self.layers}, "
+            f"pool_size={self.pool_size}, dim={self.dim})"
+        )
+
+
+class KeyBatch:
+    """A fleet of HDLock keys sharing one (N, L, P, D) shape.
+
+    Holds ``(n_devices, N, L)`` index and rotation arrays — the output
+    of vectorized bulk keygen and the input of the packed key store.
+    Individual devices materialize as :class:`LockKey` on demand via the
+    zero-copy :meth:`key` path.
+    """
+
+    def __init__(
+        self,
+        indices: np.ndarray,
+        rotations: np.ndarray,
+        pool_size: int,
+        dim: int,
+    ) -> None:
+        idx = np.asarray(indices)
+        rot = np.asarray(rotations)
+        if idx.shape != rot.shape or idx.ndim != 3:
+            raise KeyFormatError(
+                f"batch index/rotation arrays must share an "
+                f"(n_devices, N, L) shape, got {idx.shape} and {rot.shape}"
+            )
+        if 0 in idx.shape:
+            raise KeyFormatError(
+                f"batch needs n_devices, N and L all >= 1, got shape {idx.shape}"
+            )
+        self.pool_size = int(pool_size)
+        self.dim = int(dim)
+        if idx.size and (
+            int(idx.min()) < 0
+            or int(idx.max()) >= self.pool_size
+            or int(rot.min()) < 0
+            or int(rot.max()) >= self.dim
+        ):
+            raise KeyFormatError(
+                f"batch entries outside pool [0, {self.pool_size}) x "
+                f"rotation [0, {self.dim}) ranges"
+            )
+        self.indices = _readonly_view(idx)
+        self.rotations = _readonly_view(rot)
+
+    def __len__(self) -> int:
+        return int(self.indices.shape[0])
+
+    @property
+    def n_devices(self) -> int:
+        """Number of per-device keys in the batch."""
+        return len(self)
+
+    @property
+    def n_features(self) -> int:
+        """Number of features ``N`` each key covers."""
+        return int(self.indices.shape[1])
+
+    @property
+    def layers(self) -> int:
+        """Key depth ``L``."""
+        return int(self.indices.shape[2])
+
+    def key(self, device_id: int) -> LockKey:
+        """The :class:`LockKey` of one device (zero-copy array views)."""
+        n = len(self)
+        if not 0 <= device_id < n:
+            raise KeyFormatError(
+                f"device id {device_id} outside batch of {n} devices"
+            )
+        return LockKey.from_arrays(
+            self.indices[device_id],
+            self.rotations[device_id],
+            self.pool_size,
+            self.dim,
+        )
+
+    def __iter__(self) -> Iterator[LockKey]:
+        for device_id in range(len(self)):
+            yield self.key(device_id)
+
+    def storage_bits(self) -> int:
+        """Information-theoretic at-rest size of the whole fleet, bits."""
+        return self.n_devices * storage_bits_per_key(
+            self.n_features, self.layers, self.pool_size, self.dim
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"KeyBatch(n_devices={self.n_devices}, "
+            f"n_features={self.n_features}, layers={self.layers}, "
             f"pool_size={self.pool_size}, dim={self.dim})"
         )

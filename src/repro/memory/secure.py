@@ -43,6 +43,7 @@ class PublicMemory:
             raise ValueError(f"public memory needs a (K, D) matrix, got {arr.shape}")
         self.rows = arr
         self.label = label
+        self._nbytes_packed: int | None = None
 
     @classmethod
     def publish(
@@ -68,8 +69,15 @@ class PublicMemory:
 
     @property
     def nbytes_packed(self) -> int:
-        """Footprint of this pool in deployed (bit-packed) form."""
-        return int(pack(self.rows).nbytes)
+        """Footprint of this pool in deployed (bit-packed) form.
+
+        Computed once and cached — the rows are fixed at publish time,
+        and re-packing a paper-scale pool on every property read made
+        this O(K * D) per access.
+        """
+        if self._nbytes_packed is None:
+            self._nbytes_packed = int(pack(self.rows).nbytes)
+        return self._nbytes_packed
 
     def row(self, j: int) -> np.ndarray:
         """Read one published row (attacker-permitted operation)."""

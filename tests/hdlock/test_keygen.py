@@ -5,8 +5,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import ConfigurationError
-from repro.hdlock.keygen import generate_key, identity_like_key
+from repro.errors import ConfigurationError, KeyFormatError
+from repro.hdlock.keygen import (
+    generate_key,
+    generate_key_reference,
+    generate_keys,
+    identity_like_key,
+)
+from repro.memory.key import KeyBatch
 
 
 class TestGenerateKey:
@@ -68,6 +74,144 @@ class TestGenerateKey:
         idx, rot = key.to_arrays()
         assert idx.shape == (n_features, layers)
         assert rot.shape == (n_features, layers)
+
+
+class TestGenerateKeys:
+    def test_shape_and_metadata(self):
+        batch = generate_keys(20, 10, 3, 16, 256, rng=0)
+        assert isinstance(batch, KeyBatch)
+        assert len(batch) == 20
+        assert batch.n_features == 10 and batch.layers == 3
+        assert batch.indices.shape == (20, 10, 3)
+        assert batch.rotations.shape == (20, 10, 3)
+
+    def test_compact_dtype(self):
+        batch = generate_keys(4, 8, 2, 8, 64, rng=1)
+        assert batch.indices.dtype == np.int32
+        assert batch.rotations.dtype == np.int32
+
+    def test_ranges(self):
+        batch = generate_keys(30, 12, 2, 8, 128, rng=2)
+        assert batch.indices.min() >= 0 and batch.indices.max() < 8
+        assert batch.rotations.min() >= 0 and batch.rotations.max() < 128
+
+    def test_single_device_parity_with_generate_key(self):
+        """Same seed => generate_keys(1, ...) == generate_key(...)."""
+        for seed in range(5):
+            assert (
+                generate_keys(1, 8, 2, 8, 64, rng=seed).key(0)
+                == generate_key(8, 2, 8, 64, rng=seed)
+            )
+
+    def test_within_subkey_pairs_distinct_tiny_space(self):
+        # tiny pair space forces the vectorized dedup to actually fire
+        batch = generate_keys(40, 4, 3, 2, 2, rng=3)
+        for key in batch:
+            for sk in key.subkeys:
+                assert len(set(sk.pairs())) == sk.layers
+
+    def test_subkeys_distinct_across_features_tiny_space(self):
+        # only 4 possible subkeys: every device must use all of them
+        batch = generate_keys(40, 4, 1, 2, 2, rng=4)
+        for key in batch:
+            fingerprints = {(sk.indices, sk.rotations) for sk in key.subkeys}
+            assert len(fingerprints) == 4
+
+    def test_reproducible(self):
+        a = generate_keys(6, 8, 2, 8, 64, rng=7)
+        b = generate_keys(6, 8, 2, 8, 64, rng=7)
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.rotations, b.rotations)
+
+    def test_different_seeds_differ(self):
+        a = generate_keys(6, 8, 2, 8, 64, rng=1)
+        b = generate_keys(6, 8, 2, 8, 64, rng=2)
+        assert not np.array_equal(a.indices, b.indices) or not np.array_equal(
+            a.rotations, b.rotations
+        )
+
+    def test_devices_draw_independent_keys(self):
+        batch = generate_keys(8, 16, 2, 16, 512, rng=5)
+        assert not np.array_equal(batch.indices[0], batch.indices[1])
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            generate_keys(0, 8, 2, 8, 64)
+        with pytest.raises(ConfigurationError):
+            generate_keys(1, 0, 2, 8, 64)
+        with pytest.raises(ConfigurationError):
+            generate_keys(1, 8, 0, 8, 64)
+        with pytest.raises(ConfigurationError):
+            generate_keys(1, 8, 2, 0, 64)
+
+    def test_infeasible_shapes_refused(self):
+        with pytest.raises(ConfigurationError):
+            generate_keys(3, 1, 5, 2, 2)  # L > P*D
+        with pytest.raises(ConfigurationError):
+            generate_keys(3, 20, 3, 2, 2)  # N > C(P*D, L)
+
+    def test_key_accessor_bounds(self):
+        batch = generate_keys(3, 4, 1, 4, 16, rng=6)
+        with pytest.raises(KeyFormatError):
+            batch.key(3)
+        with pytest.raises(KeyFormatError):
+            batch.key(-1)
+
+    def test_uniform_marginals_at_scale(self):
+        """Sanity: bulk draws cover the index and rotation ranges about
+        uniformly (chi-square-ish bound, loose)."""
+        batch = generate_keys(400, 8, 2, 8, 16, rng=8)
+        index_counts = np.bincount(batch.indices.ravel(), minlength=8)
+        rotation_counts = np.bincount(batch.rotations.ravel(), minlength=16)
+        assert index_counts.min() > 0.8 * index_counts.mean()
+        assert rotation_counts.min() > 0.8 * rotation_counts.mean()
+
+
+class TestReferenceDistributionParity:
+    """The scalar reference loop and the vectorized bulk path must draw
+    from the same distribution (their seeded streams legitimately
+    differ — the bulk path consumes batched draws)."""
+
+    def test_reference_produces_valid_keys(self):
+        key = generate_key_reference(6, 2, 4, 32, rng=0)
+        assert key.n_features == 6 and key.layers == 2
+        for sk in key.subkeys:
+            assert len(set(sk.pairs())) == sk.layers
+
+    def test_reference_respects_subkey_distinctness(self):
+        key = generate_key_reference(4, 1, 2, 2, rng=1)
+        fingerprints = {(sk.indices, sk.rotations) for sk in key.subkeys}
+        assert len(fingerprints) == 4
+
+    def test_reference_rejects_infeasible_shapes(self):
+        with pytest.raises(ConfigurationError):
+            generate_key_reference(20, 3, 2, 2)
+
+    def test_marginals_match_bulk_path(self):
+        """Index/rotation marginal frequencies agree between the two
+        generators within a loose chi-square-ish tolerance."""
+        P, D = 4, 8
+        ref_idx = np.concatenate(
+            [
+                generate_key_reference(16, 2, P, D, rng=seed).to_arrays()[0].ravel()
+                for seed in range(40)
+            ]
+        )
+        bulk = generate_keys(40, 16, 2, P, D, rng=99)
+        ref_counts = np.bincount(ref_idx, minlength=P) / ref_idx.size
+        bulk_counts = (
+            np.bincount(bulk.indices.ravel(), minlength=P) / bulk.indices.size
+        )
+        np.testing.assert_allclose(ref_counts, bulk_counts, atol=0.05)
+
+    def test_subkey_ordering_convention_matches(self):
+        """Both paths store each subkey sorted by (index, rotation)."""
+        ref = generate_key_reference(8, 3, 8, 16, rng=5)
+        bulk = generate_keys(1, 8, 3, 8, 16, rng=5).key(0)
+        for key in (ref, bulk):
+            idx, rot = key.to_arrays()
+            codes = idx * 16 + rot
+            assert (np.diff(codes, axis=1) > 0).all()
 
 
 class TestIdentityLikeKey:

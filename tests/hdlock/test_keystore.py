@@ -1,0 +1,193 @@
+"""Tests for the fleet-scale packed key store (mmap, rotation, revocation)."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, KeyFormatError
+from repro.hdlock.keygen import generate_keys
+from repro.hdlock.keystore import DATA_FILE, HEADER_FILE, KeyStore
+from repro.memory.key import KeyBatch
+
+N, L, P, D = 16, 2, 16, 512
+DEVICES = 64
+
+
+@pytest.fixture
+def batch() -> KeyBatch:
+    return generate_keys(DEVICES, N, L, P, D, rng=0)
+
+
+@pytest.fixture
+def store(tmp_path, batch) -> KeyStore:
+    store = KeyStore.create(tmp_path / "ks", N, L, P, D)
+    store.append(batch)
+    return store
+
+
+class TestRoundtrip:
+    def test_append_assigns_contiguous_ids(self, store):
+        assert len(store) == DEVICES
+
+    def test_random_access_matches_batch(self, store, batch):
+        for device in (0, 1, 31, DEVICES - 1):
+            assert store.key(device) == batch.key(device)
+
+    def test_mmap_reopen_roundtrip(self, tmp_path, store, batch):
+        """Every key survives a close + reopen through the mmap path."""
+        store.close()
+        reopened = KeyStore.open(tmp_path / "ks")
+        for device, key in enumerate(reopened):
+            assert key == batch.key(device)
+
+    def test_arrays_access(self, store, batch):
+        idx, rot = store.arrays(5)
+        np.testing.assert_array_equal(idx, batch.indices[5])
+        np.testing.assert_array_equal(rot, batch.rotations[5])
+
+    def test_append_key_single(self, store, batch):
+        device = store.append_key(batch.key(3))
+        assert device == DEVICES
+        assert store.key(device) == batch.key(3)
+
+    def test_incremental_append(self, tmp_path, batch):
+        store = KeyStore.create(tmp_path / "inc", N, L, P, D)
+        more = generate_keys(10, N, L, P, D, rng=1)
+        assert store.append(batch) == range(0, DEVICES)
+        assert store.append(more) == range(DEVICES, DEVICES + 10)
+        assert store.key(DEVICES + 3) == more.key(3)
+
+
+class TestAtRestFootprint:
+    def test_stride_within_floor_ratio(self, store):
+        """Packed records sit within 1.25x of the information floor."""
+        assert store.stride_bytes * 8 <= store.storage_floor_bits() * 1.25
+
+    def test_data_file_is_stride_times_devices(self, tmp_path, store):
+        size = (tmp_path / "ks" / DATA_FILE).stat().st_size
+        assert size == DEVICES * store.stride_bytes
+
+    def test_key_material_not_world_readable(self, tmp_path, store):
+        for name in (DATA_FILE, HEADER_FILE):
+            mode = (tmp_path / "ks" / name).stat().st_mode & 0o777
+            assert mode == 0o600, f"{name} has mode {oct(mode)}"
+
+
+class TestRevocation:
+    def test_revoked_key_refuses_to_load(self, store):
+        store.revoke(9)
+        with pytest.raises(KeyFormatError, match="revoked"):
+            store.key(9)
+
+    def test_revoked_key_loads_for_audit(self, store, batch):
+        store.revoke(9)
+        assert store.key(9, allow_revoked=True) == batch.key(9)
+
+    def test_revocation_persists_across_reopen(self, tmp_path, store):
+        store.revoke(9)
+        store.revoke(11)
+        reopened = KeyStore.open(tmp_path / "ks")
+        assert reopened.is_revoked(9) and reopened.is_revoked(11)
+        assert not reopened.is_revoked(10)
+
+    def test_revoke_is_idempotent(self, store):
+        store.revoke(4)
+        store.revoke(4)
+        assert sorted(store.revoked) == [4]
+
+    def test_unknown_device_rejected(self, store):
+        with pytest.raises(ConfigurationError):
+            store.revoke(DEVICES)
+        with pytest.raises(ConfigurationError):
+            store.key(-1)
+
+
+class TestRotation:
+    def test_rotate_changes_only_target_device(self, store, batch):
+        fresh = store.rotate(7, rng=123)
+        assert fresh != batch.key(7)
+        assert store.key(7) == fresh
+        for other in (0, 6, 8, DEVICES - 1):
+            assert store.key(other) == batch.key(other)
+
+    def test_rotate_bumps_generation_and_persists(self, tmp_path, store):
+        assert store.generation == 0
+        store.rotate(7, rng=1)
+        store.rotate(8, rng=2)
+        reopened = KeyStore.open(tmp_path / "ks")
+        assert reopened.generation == 2
+
+    def test_rotate_lifts_revocation(self, store):
+        store.revoke(7)
+        store.rotate(7, rng=3)
+        assert not store.is_revoked(7)
+        store.key(7)  # loads again
+
+    def test_rotated_key_shape_matches_store(self, store):
+        fresh = store.rotate(2, rng=5)
+        assert fresh.n_features == N and fresh.layers == L
+        assert fresh.pool_size == P and fresh.dim == D
+
+
+class TestFormatValidation:
+    def test_open_missing_directory(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            KeyStore.open(tmp_path / "nowhere")
+
+    def test_create_twice_rejected(self, tmp_path, store):
+        with pytest.raises(ConfigurationError, match="already exists"):
+            KeyStore.create(tmp_path / "ks", N, L, P, D)
+
+    def test_truncated_data_detected(self, tmp_path, store):
+        data = tmp_path / "ks" / DATA_FILE
+        os.truncate(data, data.stat().st_size - 1)
+        with pytest.raises(KeyFormatError, match="bytes"):
+            KeyStore.open(tmp_path / "ks")
+
+    def test_bad_magic_detected(self, tmp_path, store):
+        header = tmp_path / "ks" / HEADER_FILE
+        payload = json.loads(header.read_text())
+        payload["magic"] = "not-a-keystore"
+        header.write_text(json.dumps(payload))
+        with pytest.raises(KeyFormatError, match="magic"):
+            KeyStore.open(tmp_path / "ks")
+
+    def test_unsupported_version_detected(self, tmp_path, store):
+        header = tmp_path / "ks" / HEADER_FILE
+        payload = json.loads(header.read_text())
+        payload["version"] = 99
+        header.write_text(json.dumps(payload))
+        with pytest.raises(KeyFormatError, match="version"):
+            KeyStore.open(tmp_path / "ks")
+
+    def test_inconsistent_stride_detected(self, tmp_path, store):
+        header = tmp_path / "ks" / HEADER_FILE
+        payload = json.loads(header.read_text())
+        payload["stride_bytes"] += 1
+        header.write_text(json.dumps(payload))
+        with pytest.raises(KeyFormatError, match="stride"):
+            KeyStore.open(tmp_path / "ks")
+
+    def test_garbled_header_detected(self, tmp_path, store):
+        (tmp_path / "ks" / HEADER_FILE).write_text("{not json")
+        with pytest.raises(KeyFormatError, match="malformed"):
+            KeyStore.open(tmp_path / "ks")
+
+    def test_revoked_out_of_range_detected(self, tmp_path, store):
+        header = tmp_path / "ks" / HEADER_FILE
+        payload = json.loads(header.read_text())
+        payload["revoked"] = [DEVICES + 5]
+        header.write_text(json.dumps(payload))
+        with pytest.raises(KeyFormatError, match="unknown devices"):
+            KeyStore.open(tmp_path / "ks")
+
+    def test_wrong_shape_batch_rejected(self, store):
+        wrong = generate_keys(2, N, L + 1, P, D, rng=4)
+        with pytest.raises(KeyFormatError, match="does not match store"):
+            store.append(wrong)
+
+    def test_degenerate_shape_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            KeyStore.create(tmp_path / "bad", 0, L, P, D)

@@ -6,15 +6,22 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, KeyFormatError
+from repro.hdlock.keygen import generate_keys
 from repro.hdlock.lock import create_locked_encoder
 from repro.hdlock.provisioning import (
     KEY_FILE,
+    KEYSTORE_DIR,
     MANIFEST_FILE,
     POOL_FILE,
+    VALUES_FILE,
     BundleManifest,
+    load_fleet_key,
     load_key,
     load_public_bundle,
+    open_fleet_store,
+    restore_device_encoder,
     restore_encoder,
+    save_fleet_keys,
     save_key,
     save_public_bundle,
 )
@@ -105,3 +112,140 @@ class TestIntegrity:
         payload = json.loads((tmp_path / MANIFEST_FILE).read_text())
         assert payload["dim"] == D
         assert payload["pool_size"] == N
+
+
+class TestKeyFilePermissions:
+    def test_saved_key_is_owner_only(self, system, tmp_path):
+        path = save_key(tmp_path, system.key)
+        assert path.stat().st_mode & 0o777 == 0o600
+
+    def test_resave_repins_permissions(self, system, tmp_path):
+        """A pre-existing world-readable key file must be re-pinned:
+        os.open's mode argument only applies to newly created files."""
+        path = save_key(tmp_path, system.key)
+        path.chmod(0o644)
+        save_key(tmp_path, system.key)
+        assert path.stat().st_mode & 0o777 == 0o600
+
+
+class TestErrorContract:
+    """Loaders raise repro errors, never raw OSError/ValueError."""
+
+    def test_missing_bundle_directory(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="unreadable"):
+            load_public_bundle(tmp_path / "nowhere")
+
+    def test_missing_pool_file(self, system, tmp_path):
+        save_public_bundle(tmp_path, system.encoder)
+        (tmp_path / POOL_FILE).unlink()
+        with pytest.raises(ConfigurationError, match="unreadable"):
+            load_public_bundle(tmp_path)
+
+    def test_truncated_pool_file(self, system, tmp_path):
+        save_public_bundle(tmp_path, system.encoder)
+        payload = (tmp_path / POOL_FILE).read_bytes()
+        (tmp_path / POOL_FILE).write_bytes(payload[: len(payload) // 2])
+        with pytest.raises(ConfigurationError):
+            load_public_bundle(tmp_path)
+
+    def test_missing_key_file(self, tmp_path):
+        with pytest.raises(KeyFormatError, match="unreadable"):
+            load_key(tmp_path / "lock_key.json")
+
+    def test_pool_wrong_dtype_rejected(self, system, tmp_path):
+        save_public_bundle(tmp_path, system.encoder)
+        np.save(tmp_path / POOL_FILE, np.zeros((N, D), dtype=np.int64))
+        with pytest.raises(ConfigurationError, match="packed"):
+            load_public_bundle(tmp_path)
+
+
+class TestManifestTamperMatrix:
+    """Flip each manifest field: the cross-check (or digest) must fire
+    with the exact declared error type before any unpacking happens."""
+
+    def _tamper(self, tmp_path, field, value):
+        manifest_path = tmp_path / MANIFEST_FILE
+        payload = json.loads(manifest_path.read_text())
+        payload[field] = value
+        manifest_path.write_text(json.dumps(payload))
+
+    @pytest.mark.parametrize(
+        "field, value, message",
+        [
+            # dim 512 -> 513 changes the expected packed width (64 -> 65)
+            ("dim", D + 1, "inconsistent"),
+            ("pool_size", N + 1, "inconsistent"),
+            ("levels", M + 1, "inconsistent"),
+            ("pool_sha256", "0" * 64, "integrity"),
+            ("values_sha256", "0" * 64, "integrity"),
+        ],
+    )
+    def test_each_field_tamper_detected(
+        self, system, tmp_path, field, value, message
+    ):
+        save_public_bundle(tmp_path, system.encoder)
+        self._tamper(tmp_path, field, value)
+        with pytest.raises(ConfigurationError, match=message):
+            load_public_bundle(tmp_path)
+
+    @pytest.mark.parametrize("field", ["dim", "pool_size", "levels"])
+    def test_degenerate_shape_rejected(self, system, tmp_path, field):
+        save_public_bundle(tmp_path, system.encoder)
+        self._tamper(tmp_path, field, 0)
+        with pytest.raises(ConfigurationError, match="degenerate"):
+            load_public_bundle(tmp_path)
+
+    def test_values_bit_flip_detected(self, system, tmp_path):
+        save_public_bundle(tmp_path, system.encoder)
+        packed = np.load(tmp_path / VALUES_FILE)
+        packed[0, 0] ^= 0x80  # single bit
+        np.save(tmp_path / VALUES_FILE, packed)
+        with pytest.raises(ConfigurationError, match="integrity"):
+            load_public_bundle(tmp_path)
+
+
+class TestFleetProvisioning:
+    DEVICES = 12
+
+    @pytest.fixture
+    def batch(self, system):
+        return generate_keys(
+            self.DEVICES, N, system.key.layers, N, D, rng=1
+        )
+
+    def test_fleet_roundtrip(self, tmp_path, batch):
+        save_fleet_keys(tmp_path, batch)
+        for device in (0, 5, self.DEVICES - 1):
+            assert load_fleet_key(tmp_path, device) == batch.key(device)
+
+    def test_store_lives_in_subdirectory(self, tmp_path, batch):
+        save_fleet_keys(tmp_path, batch)
+        assert (tmp_path / KEYSTORE_DIR).is_dir()
+
+    def test_second_save_appends(self, tmp_path, batch):
+        save_fleet_keys(tmp_path, batch)
+        store = save_fleet_keys(tmp_path, batch)
+        assert len(store) == 2 * self.DEVICES
+        assert load_fleet_key(tmp_path, self.DEVICES + 2) == batch.key(2)
+
+    def test_revoked_device_refused(self, tmp_path, batch):
+        store = save_fleet_keys(tmp_path, batch)
+        store.revoke(3)
+        with pytest.raises(KeyFormatError, match="revoked"):
+            load_fleet_key(tmp_path, 3)
+
+    def test_restore_device_encoder(self, system, tmp_path, batch):
+        save_public_bundle(tmp_path, system.encoder)
+        save_fleet_keys(tmp_path, batch)
+        encoder = restore_device_encoder(tmp_path, 4, rng=2)
+        sample = np.random.default_rng(3).integers(0, M, N)
+        np.testing.assert_array_equal(
+            encoder.encode_nonbinary(sample),
+            restore_encoder(tmp_path, batch.key(4), rng=2).encode_nonbinary(
+                sample
+            ),
+        )
+
+    def test_open_fleet_store_missing(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            open_fleet_store(tmp_path)

@@ -10,7 +10,11 @@ from repro.hv.capacity import (
     detection_margin,
     empirical_capacity_curve,
     expected_member_distance,
+    fleet_collision_log2_probability,
+    fleet_key_report,
+    key_entropy_bits,
     majority_advantage,
+    subkey_space_log2,
 )
 
 
@@ -93,3 +97,79 @@ class TestEmpiricalCurve:
         this is why the attack's crafted queries carry signal."""
         (point,) = empirical_capacity_curve([785], dim=2048, rng=2)
         assert point.member_distance < 0.49
+
+
+class TestFleetKeyReport:
+    def test_key_entropy_exact_tiny_shape(self):
+        # S = C(2*2, 1) = 4 subkeys, N=2 distinct: log2(4) + log2(3)
+        expected = math.log2(4) + math.log2(3)
+        assert key_entropy_bits(2, 1, 2, 2) == pytest.approx(expected)
+
+    def test_key_entropy_large_shape_near_log_form(self):
+        entropy = key_entropy_bits(784, 2, 784, 2048)
+        per_feature = subkey_space_log2(784, 2048, 2)
+        # distinctness correction is negligible when S >> N
+        assert entropy == pytest.approx(784 * per_feature, rel=1e-9)
+        # MNIST-shaped keys carry tens of kilobits of entropy
+        assert entropy > 30_000
+
+    def test_key_entropy_log_form_when_space_overflows(self):
+        # S = C(2**20 * 2**16, 4) far exceeds 2**53: log-form kicks in
+        entropy = key_entropy_bits(16, 4, 1 << 20, 1 << 16)
+        per_feature = subkey_space_log2(1 << 20, 1 << 16, 4)
+        assert entropy == pytest.approx(16 * per_feature)
+
+    def test_subkey_space_matches_comb(self):
+        assert subkey_space_log2(4, 4, 2) == pytest.approx(
+            math.log2(math.comb(16, 2))
+        )
+
+    def test_infeasible_shapes_refused(self):
+        with pytest.raises(ConfigurationError):
+            key_entropy_bits(20, 3, 2, 2)  # N > C(P*D, L)
+        with pytest.raises(ConfigurationError):
+            subkey_space_log2(2, 2, 5)  # L > P*D
+
+    def test_collision_single_device_impossible(self):
+        assert fleet_collision_log2_probability(1, 8, 2, 8, 64) == -math.inf
+
+    def test_collision_grows_with_fleet_size(self):
+        small = fleet_collision_log2_probability(100, 8, 2, 8, 64)
+        large = fleet_collision_log2_probability(10_000, 8, 2, 8, 64)
+        assert large > small
+
+    def test_collision_probability_is_capped_at_one(self):
+        # absurdly tiny key space, huge fleet: bound must clamp to 0.0
+        assert fleet_collision_log2_probability(1_000, 1, 1, 2, 2) == 0.0
+
+    def test_report_fields_consistent(self):
+        report = fleet_key_report(100_000, 784, 2, 784, 2048)
+        assert report.n_devices == 100_000
+        assert report.key_entropy_bits > 30_000
+        assert report.collision_probability == 0.0  # underflows a float
+        assert report.collision_log2_probability < -30_000
+        assert report.expected_guesses_log2 == pytest.approx(
+            report.key_entropy_bits - 1.0
+        )
+        # a 100k-device fleet is ~17 bits easier to hit blind than one
+        assert report.fleet_guess_log2_probability == pytest.approx(
+            math.log2(100_000) - report.key_entropy_bits
+        )
+
+    def test_report_roundtrips_to_dict(self):
+        report = fleet_key_report(10, 8, 2, 8, 64)
+        payload = report.to_dict()
+        assert payload["n_devices"] == 10
+        assert payload["key_entropy_bits"] == report.key_entropy_bits
+        assert set(payload) == {
+            "n_devices",
+            "n_features",
+            "layers",
+            "pool_size",
+            "dim",
+            "key_entropy_bits",
+            "collision_log2_probability",
+            "collision_probability",
+            "expected_guesses_log2",
+            "fleet_guess_log2_probability",
+        }

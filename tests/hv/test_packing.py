@@ -212,3 +212,12 @@ class TestPackedPool:
     def test_requires_matrix(self):
         with pytest.raises(ValueError):
             PackedPool(random_hv(64, rng=5))
+
+
+class TestPairwiseHammingErrorContract:
+    def test_missing_dim_raises_repro_error(self):
+        """dim=None must surface as the package's DimensionMismatchError,
+        not a bare ValueError — callers catch ReproError subtypes."""
+        rows = pack(random_pool(2, 64, rng=9))
+        with pytest.raises(DimensionMismatchError, match="dim"):
+            pairwise_hamming_packed(rows, rows)

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import KeyFormatError
-from repro.memory.key import LockKey, SubKey
+from repro.memory.key import KeyBatch, LockKey, SubKey, storage_bits_per_key
 
 
 class TestSubKey:
@@ -108,3 +108,136 @@ class TestLockKey:
         rot = rng.integers(0, 32, size=(n_features, layers))
         key = LockKey.from_arrays(idx, rot, pool_size=8, dim=32)
         assert LockKey.from_json(key.to_json()) == key
+
+
+class TestZeroCopyPaths:
+    def test_from_arrays_adopts_without_copy(self):
+        idx = np.array([[0, 3], [2, 1]], dtype=np.int64)
+        rot = np.array([[5, 9], [0, 7]], dtype=np.int64)
+        key = LockKey.from_arrays(idx, rot, pool_size=4, dim=16)
+        out_idx, out_rot = key.to_arrays()
+        assert out_idx.base is idx and out_rot.base is rot
+
+    def test_to_arrays_views_are_readonly(self):
+        key = LockKey.from_arrays(
+            np.array([[1]]), np.array([[2]]), pool_size=4, dim=16
+        )
+        idx, rot = key.to_arrays()
+        with pytest.raises(ValueError):
+            idx[0, 0] = 3
+        with pytest.raises(ValueError):
+            rot[0, 0] = 3
+
+    def test_from_arrays_defers_subkey_materialization(self):
+        key = LockKey.from_arrays(
+            np.array([[1]]), np.array([[2]]), pool_size=4, dim=16
+        )
+        assert key._subkeys is None
+        assert key.subkeys == (SubKey((1,), (2,)),)
+        assert key._subkeys is not None  # cached after first access
+
+    def test_from_arrays_range_validation(self):
+        with pytest.raises(KeyFormatError, match="outside"):
+            LockKey.from_arrays(
+                np.array([[4]]), np.array([[0]]), pool_size=4, dim=16
+            )
+        with pytest.raises(KeyFormatError, match="outside"):
+            LockKey.from_arrays(
+                np.array([[0]]), np.array([[16]]), pool_size=4, dim=16
+            )
+
+
+class TestStorageBitsPerKey:
+    def test_matches_lockkey_method(self):
+        assert storage_bits_per_key(2, 2, 4, 16) == 24
+
+    def test_degenerate_pools_still_cost_one_bit(self):
+        # P=1 or D=1 carry no information but occupy one packed bit each
+        assert storage_bits_per_key(3, 1, 1, 1) == 3 * 1 * (1 + 1)
+
+
+class TestKeyBatch:
+    def make_batch(self, n_devices=3) -> KeyBatch:
+        rng = np.random.default_rng(0)
+        idx = rng.integers(0, 4, size=(n_devices, 2, 2))
+        rot = rng.integers(0, 16, size=(n_devices, 2, 2))
+        return KeyBatch(idx, rot, pool_size=4, dim=16)
+
+    def test_shape_metadata(self):
+        batch = self.make_batch()
+        assert len(batch) == 3
+        assert batch.n_devices == 3
+        assert batch.n_features == 2
+        assert batch.layers == 2
+
+    def test_key_accessor_is_zero_copy(self):
+        batch = self.make_batch()
+        key = batch.key(1)
+        idx, _ = key.to_arrays()
+        assert idx.base is batch.indices.base
+
+    def test_key_accessor_matches_arrays(self):
+        batch = self.make_batch()
+        key = batch.key(2)
+        idx, rot = key.to_arrays()
+        np.testing.assert_array_equal(idx, batch.indices[2])
+        np.testing.assert_array_equal(rot, batch.rotations[2])
+
+    def test_iteration_yields_every_device(self):
+        batch = self.make_batch()
+        keys = list(batch)
+        assert len(keys) == 3
+        assert all(k.pool_size == 4 and k.dim == 16 for k in keys)
+
+    def test_out_of_range_device(self):
+        batch = self.make_batch()
+        with pytest.raises(KeyFormatError):
+            batch.key(3)
+        with pytest.raises(KeyFormatError):
+            batch.key(-1)
+
+    def test_storage_bits_scales_with_devices(self):
+        batch = self.make_batch()
+        assert batch.storage_bits() == 3 * storage_bits_per_key(2, 2, 4, 16)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(KeyFormatError, match="shape"):
+            KeyBatch(
+                np.zeros((2, 2, 2), dtype=np.int64),
+                np.zeros((2, 2, 3), dtype=np.int64),
+                pool_size=4,
+                dim=16,
+            )
+
+    def test_wrong_ndim_rejected(self):
+        with pytest.raises(KeyFormatError, match="shape"):
+            KeyBatch(
+                np.zeros((2, 2), dtype=np.int64),
+                np.zeros((2, 2), dtype=np.int64),
+                pool_size=4,
+                dim=16,
+            )
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(KeyFormatError, match=">= 1"):
+            KeyBatch(
+                np.zeros((0, 2, 2), dtype=np.int64),
+                np.zeros((0, 2, 2), dtype=np.int64),
+                pool_size=4,
+                dim=16,
+            )
+
+    def test_out_of_range_entries_rejected(self):
+        idx = np.zeros((1, 1, 1), dtype=np.int64)
+        rot = np.full((1, 1, 1), 16, dtype=np.int64)
+        with pytest.raises(KeyFormatError, match="ranges"):
+            KeyBatch(idx, rot, pool_size=4, dim=16)
+
+    def test_arrays_are_readonly(self):
+        batch = self.make_batch()
+        with pytest.raises(ValueError):
+            batch.indices[0, 0, 0] = 1
+
+    def test_repr_mentions_fleet_shape(self):
+        text = repr(self.make_batch())
+        assert "n_devices=3" in text and "layers=2" in text

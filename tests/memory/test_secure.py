@@ -97,3 +97,11 @@ class TestSecureMemory:
         secure.store("weird", object())
         with pytest.raises(TypeError):
             secure.storage_bits()
+
+
+class TestPackedFootprintCaching:
+    def test_nbytes_packed_computed_once(self):
+        public = PublicMemory(random_pool(10, 800, rng=7))
+        first = public.nbytes_packed
+        assert public.nbytes_packed is first  # cached int, not recomputed
+        assert first == 10 * 100
