@@ -79,6 +79,28 @@ collision and guessability. ``benchmarks/bench_keygen.py`` tracks
 keys/sec, bytes/key at rest, and re-lock latency as the
 machine-readable ``BENCH_provisioning.json`` snapshot.
 
+Multi-tenant serving
+--------------------
+
+:mod:`repro.serving` turns a provisioned locked system into a deployable
+inference service — the deployment surface HDLock's threat model calls
+for, where the locked encoder is the public artifact and the key store
+stays privileged. ``provision_tenant`` persists the public bundle, the
+device key (appended to the tenant's mmap :class:`~repro.hdlock.KeyStore`),
+and the trained class-memory snapshot; ``load_tenant`` rebuilds a
+bit-identical replica. A :class:`~repro.serving.ModelRegistry` serves
+many tenants behind one stdlib-only ASGI app
+(:func:`~repro.serving.create_app`: ``/healthz``, ``/v1/models``,
+``/v1/{tenant}/classify``, ``/v1/{tenant}/encode``) whose request path
+re-checks the key lifecycle gate per request (revoked or rotated device
+→ 403, never a crash) and coalesces concurrent requests in a
+:class:`~repro.serving.MicroBatcher` into single
+``encode_batch_packed`` calls — bit-identical to per-request serving,
+several times the throughput (``benchmarks/bench_serving.py`` →
+``BENCH_serving.json``). ``python -m repro.serving`` boots a demo
+fleet or previously provisioned tenant directories; ``--self-check``
+is the CI smoke body.
+
 Quickstart::
 
     from repro import (
@@ -144,7 +166,7 @@ from repro.memory import (
 )
 from repro.model import HDClassifier, train_model
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

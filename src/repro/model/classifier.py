@@ -149,6 +149,60 @@ class HDClassifier:
         return history
 
     # ------------------------------------------------------------------
+    # trained-state export / restore (serving provisioning)
+    # ------------------------------------------------------------------
+
+    @property
+    def class_accumulators(self) -> np.ndarray:
+        """Copy of the trained ``(C, D)`` non-binary class accumulators.
+
+        The full trainable state of the model (binary class HVs are a
+        deterministic view of it plus the cached tie-breaks). Raises
+        :class:`ConfigurationError` on an untrained model.
+        """
+        if self._accums is None:
+            raise ConfigurationError("model is untrained; call fit first")
+        return self._accums.copy()
+
+    def load_accumulators(
+        self,
+        accumulators: np.ndarray,
+        binary_classes: Optional[np.ndarray] = None,
+    ) -> "HDClassifier":
+        """Restore trained state exported via :attr:`class_accumulators`.
+
+        ``binary_classes`` optionally pins the binarized class memory of
+        a binary model. Accumulator rows can hit exact zero, where
+        :func:`~repro.hv.ops.sign` draws a random tie-break — passing
+        the snapshot taken at training time keeps a restored service
+        replica bit-identical to the deployed original instead of
+        re-rolling those ties.
+        """
+        arr = np.asarray(accumulators, dtype=np.float64)
+        expected = (self.n_classes, self.encoder.dim)
+        if arr.shape != expected:
+            raise DimensionMismatchError(
+                f"class accumulators shape {arr.shape} does not match "
+                f"(C, D) = {expected}"
+            )
+        self._accums = arr.copy()
+        self._binary_classes = None
+        self._packed_classes = None
+        if binary_classes is not None:
+            if not self.binary:
+                raise ConfigurationError(
+                    "binary_classes only applies to a binary model"
+                )
+            binary_arr = np.asarray(binary_classes)
+            if binary_arr.shape != expected:
+                raise DimensionMismatchError(
+                    f"binary class matrix shape {binary_arr.shape} does "
+                    f"not match (C, D) = {expected}"
+                )
+            self._binary_classes = binary_arr.astype(np.int8, copy=True)
+        return self
+
+    # ------------------------------------------------------------------
     # inference
     # ------------------------------------------------------------------
 

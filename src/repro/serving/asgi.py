@@ -1,0 +1,234 @@
+"""A dependency-free ASGI toolkit: routing, JSON bodies, lifespan.
+
+The container this repo targets ships no web framework, so the serving
+adapter brings its own — a deliberately small subset of the
+FastAPI/starlette surface the app actually uses. The application object
+speaks the standard `ASGI 3.0`_ protocol (``http`` and ``lifespan``
+scopes), so it runs unchanged under any ASGI server: ``uvicorn`` via
+the package's ``[serving]`` extra, the stdlib fallback server in
+:mod:`repro.serving.http`, or the in-process
+:class:`~repro.serving.testclient.TestClient`.
+
+.. _ASGI 3.0: https://asgi.readthedocs.io/en/latest/specs/main.html
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Awaitable, Callable
+
+#: Request body cap (1 MiB of JSON ≈ far above MAX_ROWS_PER_REQUEST).
+MAX_BODY_BYTES = 1 << 20
+
+
+class Request:
+    """One HTTP request: scope plus lazily-read JSON body."""
+
+    def __init__(self, scope: dict, receive: Callable) -> None:
+        self.scope = scope
+        self._receive = receive
+        self.method: str = scope["method"]
+        self.path: str = scope["path"]
+        #: Path template parameters filled in by the router.
+        self.params: dict[str, str] = {}
+
+    async def body(self) -> bytes:
+        chunks: list[bytes] = []
+        total = 0
+        while True:
+            message = await self._receive()
+            if message["type"] != "http.request":
+                break
+            chunk = message.get("body", b"")
+            total += len(chunk)
+            if total > MAX_BODY_BYTES:
+                raise BodyTooLarge(total)
+            chunks.append(chunk)
+            if not message.get("more_body", False):
+                break
+        return b"".join(chunks)
+
+    async def json(self) -> Any:
+        raw = await self.body()
+        if not raw:
+            raise MalformedBody("request body is empty, expected JSON")
+        try:
+            return json.loads(raw)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise MalformedBody(f"request body is not valid JSON: {exc}")
+
+
+class MalformedBody(Exception):
+    """Unparseable request body (the adapter maps this to 422)."""
+
+
+class BodyTooLarge(Exception):
+    """Request body over :data:`MAX_BODY_BYTES` (mapped to 413)."""
+
+    def __init__(self, size: int) -> None:
+        super().__init__(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        self.size = size
+
+
+class JSONResponse:
+    """A JSON response with a fixed status code."""
+
+    def __init__(self, payload: Any, status: int = 200) -> None:
+        self.status = int(status)
+        self.body = json.dumps(payload).encode()
+        self.headers = [
+            (b"content-type", b"application/json"),
+            (b"content-length", str(len(self.body)).encode()),
+        ]
+
+    async def send(self, send: Callable) -> None:
+        await send(
+            {
+                "type": "http.response.start",
+                "status": self.status,
+                "headers": self.headers,
+            }
+        )
+        await send({"type": "http.response.body", "body": self.body})
+
+
+Handler = Callable[[Request], Awaitable[JSONResponse]]
+
+#: ``{name}`` path-template segment, starlette-style.
+_PARAM_RE = re.compile(r"\{([a-zA-Z_][a-zA-Z0-9_]*)\}")
+
+
+def _compile(template: str) -> re.Pattern:
+    parts: list[str] = []
+    last = 0
+    for match in _PARAM_RE.finditer(template):
+        parts.append(re.escape(template[last : match.start()]))
+        parts.append(f"(?P<{match.group(1)}>[^/]+)")
+        last = match.end()
+    parts.append(re.escape(template[last:]))
+    return re.compile("^" + "".join(parts) + "$")
+
+
+class Route:
+    def __init__(self, method: str, template: str, handler: Handler) -> None:
+        self.method = method.upper()
+        self.template = template
+        self.pattern = _compile(template)
+        self.handler = handler
+
+
+class App:
+    """Minimal ASGI application: routes + lifespan hooks + error hook.
+
+    ``on_error`` receives any exception a handler raised and returns the
+    :class:`JSONResponse` to send — the single place the serving adapter
+    maps library errors onto HTTP statuses.
+    """
+
+    def __init__(
+        self,
+        on_startup: Callable[[], Awaitable[None]] | None = None,
+        on_shutdown: Callable[[], Awaitable[None]] | None = None,
+        on_error: Callable[[Exception], JSONResponse] | None = None,
+    ) -> None:
+        self.routes: list[Route] = []
+        self._on_startup = on_startup
+        self._on_shutdown = on_shutdown
+        self._on_error = on_error
+
+    def add_route(self, method: str, template: str, handler: Handler) -> None:
+        self.routes.append(Route(method, template, handler))
+
+    def get(self, template: str) -> Callable[[Handler], Handler]:
+        def register(handler: Handler) -> Handler:
+            self.add_route("GET", template, handler)
+            return handler
+
+        return register
+
+    def post(self, template: str) -> Callable[[Handler], Handler]:
+        def register(handler: Handler) -> Handler:
+            self.add_route("POST", template, handler)
+            return handler
+
+        return register
+
+    # -- ASGI entry point ----------------------------------------------
+
+    async def __call__(self, scope: dict, receive: Callable, send: Callable):
+        if scope["type"] == "lifespan":
+            await self._lifespan(receive, send)
+            return
+        if scope["type"] != "http":
+            raise RuntimeError(f"unsupported ASGI scope {scope['type']!r}")
+        response = await self._dispatch(Request(scope, receive))
+        await response.send(send)
+
+    async def _lifespan(self, receive: Callable, send: Callable) -> None:
+        while True:
+            message = await receive()
+            if message["type"] == "lifespan.startup":
+                try:
+                    if self._on_startup is not None:
+                        await self._on_startup()
+                except Exception as exc:
+                    await send(
+                        {
+                            "type": "lifespan.startup.failed",
+                            "message": str(exc),
+                        }
+                    )
+                    return
+                await send({"type": "lifespan.startup.complete"})
+            elif message["type"] == "lifespan.shutdown":
+                try:
+                    if self._on_shutdown is not None:
+                        await self._on_shutdown()
+                except Exception as exc:
+                    await send(
+                        {
+                            "type": "lifespan.shutdown.failed",
+                            "message": str(exc),
+                        }
+                    )
+                    return
+                await send({"type": "lifespan.shutdown.complete"})
+                return
+
+    async def _dispatch(self, request: Request) -> JSONResponse:
+        path_matched = False
+        for route in self.routes:
+            match = route.pattern.match(request.path)
+            if match is None:
+                continue
+            path_matched = True
+            if route.method != request.method:
+                continue
+            request.params = match.groupdict()
+            try:
+                return await route.handler(request)
+            except BodyTooLarge as exc:
+                return JSONResponse(
+                    {"error": "body_too_large", "detail": str(exc)}, 413
+                )
+            except MalformedBody as exc:
+                return JSONResponse(
+                    {"error": "invalid_request", "detail": str(exc)}, 422
+                )
+            except Exception as exc:
+                if self._on_error is not None:
+                    return self._on_error(exc)
+                raise
+        if path_matched:
+            return JSONResponse(
+                {
+                    "error": "method_not_allowed",
+                    "detail": f"{request.method} not allowed on {request.path}",
+                },
+                405,
+            )
+        return JSONResponse(
+            {"error": "not_found", "detail": f"no route for {request.path}"},
+            404,
+        )

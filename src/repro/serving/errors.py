@@ -1,0 +1,65 @@
+"""Service-level errors with a stable HTTP mapping.
+
+The use-case core raises these (and only these) toward the adapter;
+:mod:`repro.serving.app` additionally folds the library's own
+:class:`~repro.errors.ReproError` subclasses into the same shape, so
+every error response is ``{"error": <code>, "detail": <message>, ...}``
+with a status the satellite tests can pin.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ReproError
+
+
+class ServingError(ReproError):
+    """Base class for request-rejecting service errors."""
+
+    status = 500
+    code = "internal_error"
+
+    def __init__(self, detail: str, **extra: Any) -> None:
+        super().__init__(detail)
+        self.detail = detail
+        self.extra = extra
+
+    def to_payload(self) -> dict:
+        """The JSON body of the error response."""
+        payload = {"error": self.code, "detail": self.detail}
+        payload.update(self.extra)
+        return payload
+
+
+class UnknownTenantError(ServingError):
+    """The path names a tenant the registry does not hold."""
+
+    status = 404
+    code = "unknown_tenant"
+
+
+class RequestValidationError(ServingError):
+    """The request body is malformed or out of contract."""
+
+    status = 422
+    code = "invalid_request"
+
+
+class KeyAccessError(ServingError):
+    """The tenant's key no longer authorizes inference (revoked/rotated).
+
+    Carries the store's rotation ``generation`` so operators can tell a
+    plain revocation from a rotation that outdated the tenant's
+    provisioned key.
+    """
+
+    status = 403
+    code = "key_access_denied"
+
+
+class ServiceUnavailableError(ServingError):
+    """The service is shutting down; the batcher no longer accepts work."""
+
+    status = 503
+    code = "service_unavailable"

@@ -1,0 +1,221 @@
+"""Stdlib HTTP/1.1 → ASGI bridge: serve the app without extra deps.
+
+Production deployments should host the app under a real ASGI server
+(``pip install 'repro-hdlock[serving]'`` pulls ``uvicorn``); this
+module is the zero-dependency fallback that makes
+``python -m repro.serving`` work everywhere the library itself does. It
+implements the slice of HTTP/1.1 the serving surface needs — request
+line, headers, ``Content-Length`` bodies, keep-alive — on
+``asyncio.start_server``, and drives the app's lifespan around the
+socket server's own lifetime so batcher lanes drain on shutdown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable
+
+from repro.serving.asgi import MAX_BODY_BYTES, App
+
+#: Hard cap on the request head (request line + headers).
+MAX_HEAD_BYTES = 16 * 1024
+
+_REASONS = {
+    200: "OK",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    403: "Forbidden",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _Lifespan:
+    """Drive the app's lifespan protocol around the server lifetime."""
+
+    def __init__(self, app: App) -> None:
+        self.app = app
+        self._to_app: asyncio.Queue = asyncio.Queue()
+        self._from_app: asyncio.Queue = asyncio.Queue()
+        self._task: asyncio.Task | None = None
+
+    async def startup(self) -> None:
+        self._task = asyncio.ensure_future(
+            self.app(
+                {"type": "lifespan"}, self._to_app.get, self._from_app.put
+            )
+        )
+        await self._to_app.put({"type": "lifespan.startup"})
+        ack = await self._from_app.get()
+        if ack["type"] != "lifespan.startup.complete":
+            raise RuntimeError(f"app startup failed: {ack}")
+
+    async def shutdown(self) -> None:
+        await self._to_app.put({"type": "lifespan.shutdown"})
+        ack = await self._from_app.get()
+        if ack["type"] != "lifespan.shutdown.complete":
+            raise RuntimeError(f"app shutdown failed: {ack}")
+        if self._task is not None:
+            await self._task
+
+
+async def _read_head(reader: asyncio.StreamReader) -> bytes | None:
+    """Read up to the blank line ending the head; None on EOF/overflow."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError:
+        return None
+    except asyncio.LimitOverrunError:
+        return None
+    if len(head) > MAX_HEAD_BYTES:
+        return None
+    return head
+
+
+def _plain_response(status: int, text: str) -> bytes:
+    body = text.encode()
+    return (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}\r\n"
+        f"content-type: text/plain\r\ncontent-length: {len(body)}\r\n"
+        f"connection: close\r\n\r\n"
+    ).encode() + body
+
+
+async def _handle_connection(
+    app: App, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    try:
+        while True:
+            head = await _read_head(reader)
+            if head is None:
+                return
+            try:
+                request_line, *header_lines = head.decode(
+                    "latin-1"
+                ).split("\r\n")
+                method, target, _version = request_line.split(" ", 2)
+                headers: list[tuple[bytes, bytes]] = []
+                content_length = 0
+                keep_alive = True
+                for line in header_lines:
+                    if not line:
+                        continue
+                    key, _, value = line.partition(":")
+                    key, value = key.strip().lower(), value.strip()
+                    headers.append((key.encode(), value.encode()))
+                    if key == "content-length":
+                        content_length = int(value)
+                    elif key == "connection" and value.lower() == "close":
+                        keep_alive = False
+            except ValueError:
+                writer.write(_plain_response(400, "malformed request"))
+                await writer.drain()
+                return
+            if content_length > MAX_BODY_BYTES:
+                writer.write(_plain_response(413, "body too large"))
+                await writer.drain()
+                return
+            body = (
+                await reader.readexactly(content_length)
+                if content_length
+                else b""
+            )
+            path, _, query = target.partition("?")
+            scope = {
+                "type": "http",
+                "asgi": {"version": "3.0"},
+                "http_version": "1.1",
+                "method": method.upper(),
+                "path": path,
+                "raw_path": path.encode(),
+                "query_string": query.encode(),
+                "headers": headers,
+            }
+            sent_request = False
+
+            async def receive() -> dict:
+                nonlocal sent_request
+                if sent_request:
+                    return {"type": "http.disconnect"}
+                sent_request = True
+                return {
+                    "type": "http.request",
+                    "body": body,
+                    "more_body": False,
+                }
+
+            response_head: dict = {}
+            chunks: list[bytes] = []
+
+            async def send(message: dict) -> None:
+                if message["type"] == "http.response.start":
+                    response_head.update(message)
+                elif message["type"] == "http.response.body":
+                    chunks.append(message.get("body", b""))
+
+            try:
+                await app(scope, receive, send)
+            except Exception:
+                writer.write(_plain_response(500, "internal error"))
+                await writer.drain()
+                return
+            status = int(response_head.get("status", 500))
+            payload = b"".join(chunks)
+            lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}"]
+            for key, value in response_head.get("headers", []):
+                if key.lower() != b"content-length":
+                    lines.append(
+                        f"{key.decode('latin-1')}: {value.decode('latin-1')}"
+                    )
+            lines.append(f"content-length: {len(payload)}")
+            lines.append(
+                "connection: keep-alive" if keep_alive else "connection: close"
+            )
+            writer.write(
+                ("\r\n".join(lines) + "\r\n\r\n").encode() + payload
+            )
+            await writer.drain()
+            if not keep_alive:
+                return
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def serve(
+    app: App,
+    host: str = "127.0.0.1",
+    port: int = 8100,
+    ready: Callable[[str, int], None] | None = None,
+    shutdown_trigger: asyncio.Event | None = None,
+) -> None:
+    """Run the app on a TCP socket until cancelled (or ``shutdown_trigger``).
+
+    ``ready`` is called with the bound (host, port) once accepting —
+    pass ``port=0`` and read the real port there (the socket test does).
+    """
+    lifespan = _Lifespan(app)
+    await lifespan.startup()
+    server = await asyncio.start_server(
+        lambda r, w: _handle_connection(app, r, w), host, port
+    )
+    bound_host, bound_port = server.sockets[0].getsockname()[:2]
+    if ready is not None:
+        ready(bound_host, bound_port)
+    try:
+        async with server:
+            if shutdown_trigger is None:
+                await server.serve_forever()
+            else:
+                await shutdown_trigger.wait()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await lifespan.shutdown()

@@ -1,0 +1,160 @@
+"""The use-case core behind the HTTP adapter.
+
+:class:`InferenceService` owns the registry, one pair of micro-batchers
+per tenant (encode / classify — rows from different tenants run under
+different keys and must never share a batch matrix), and the request
+lifecycle: resolve tenant → key access gate → validate → batch →
+response dataclass. No HTTP types appear here; the ASGI adapter in
+:mod:`repro.serving.app` is a thin translation layer, which is what
+keeps the core drivable from tests and the load bench without a socket.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+import repro
+from repro.errors import ConfigurationError, DimensionMismatchError
+from repro.serving.batcher import MicroBatcher
+from repro.serving.registry import ModelRegistry, Tenant
+from repro.serving.schemas import (
+    ClassifyResponse,
+    EncodeResponse,
+    HealthResponse,
+    packed_rows_to_hex,
+    parse_samples,
+)
+
+#: Default micro-batch window: wide enough to coalesce a concurrency-16
+#: burst, short enough to be invisible next to an encode call.
+DEFAULT_MAX_BATCH = 64
+DEFAULT_MAX_WAIT_S = 0.002
+
+
+class _TenantLane:
+    """The two per-tenant batchers (one per operation)."""
+
+    def __init__(
+        self, tenant: Tenant, max_batch: int, max_wait_s: float
+    ) -> None:
+        self.encode = MicroBatcher(
+            tenant.encoder.encode_batch_packed,
+            max_batch=max_batch,
+            max_wait_s=max_wait_s,
+            name=f"{tenant.name}/encode",
+        )
+        self.classify = MicroBatcher(
+            tenant.classifier.predict,
+            max_batch=max_batch,
+            max_wait_s=max_wait_s,
+            name=f"{tenant.name}/classify",
+        )
+
+    def stats(self) -> dict:
+        return {
+            "encode": self.encode.stats.to_dict(),
+            "classify": self.classify.stats.to_dict(),
+        }
+
+
+class InferenceService:
+    """Multi-tenant locked-inference core over a :class:`ModelRegistry`."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_wait_s: float = DEFAULT_MAX_WAIT_S,
+    ) -> None:
+        self.registry = registry
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_s)
+        self._lanes: dict[str, _TenantLane] = {}
+
+    # -- lifecycle (wired to ASGI lifespan) ----------------------------
+
+    async def startup(self) -> None:
+        """Build batcher lanes for every registered tenant."""
+        for tenant in self.registry:
+            self._lane(tenant)
+
+    async def shutdown(self) -> None:
+        """Deterministically drain: flush every lane's in-flight window."""
+        for lane in self._lanes.values():
+            await lane.encode.aclose()
+            await lane.classify.aclose()
+
+    def _lane(self, tenant: Tenant) -> _TenantLane:
+        lane = self._lanes.get(tenant.name)
+        if lane is None:
+            lane = _TenantLane(tenant, self.max_batch, self.max_wait_s)
+            self._lanes[tenant.name] = lane
+        return lane
+
+    # -- endpoints -----------------------------------------------------
+
+    def healthz(self) -> HealthResponse:
+        return HealthResponse(
+            status="ok",
+            version=repro.__version__,
+            tenants=len(self.registry),
+        )
+
+    def models(self) -> dict:
+        """The ``/v1/models`` listing with live batching stats."""
+        entries = []
+        for tenant in self.registry:
+            lane = self._lanes.get(tenant.name)
+            entries.append(
+                tenant.descriptor(lane.stats() if lane else {}).to_dict()
+            )
+        return {"models": sorted(entries, key=lambda e: e["name"])}
+
+    def _admit(self, tenant_name: str) -> tuple[Tenant, _TenantLane]:
+        """Resolve the tenant and run the per-request key gate."""
+        tenant = self.registry.get(tenant_name)
+        tenant.check_access()
+        return tenant, self._lane(tenant)
+
+    @staticmethod
+    def _validate_rows(tenant: Tenant, rows: np.ndarray) -> np.ndarray:
+        """Per-request shape/range validation, *before* batching.
+
+        The batcher stacks chunks from many requests into one matrix; a
+        bad row discovered inside the batch call would fail every
+        co-batched request. Rejecting here keeps the blast radius of a
+        malformed request to that request (→ 422 via the adapter).
+        """
+        encoder = tenant.encoder
+        if rows.shape[1] != encoder.n_features:
+            raise DimensionMismatchError(
+                f"sample has {rows.shape[1]} features, tenant "
+                f"{tenant.name!r} expects {encoder.n_features}"
+            )
+        if rows.size and (rows.min() < 0 or rows.max() >= encoder.levels):
+            raise ConfigurationError(
+                f"level indices must lie in [0, {encoder.levels}), got "
+                f"range [{rows.min()}, {rows.max()}]"
+            )
+        return rows
+
+    async def classify(self, tenant_name: str, payload: Any) -> ClassifyResponse:
+        tenant, lane = self._admit(tenant_name)
+        rows = self._validate_rows(tenant, parse_samples(payload))
+        labels = await lane.classify.submit(rows)
+        return ClassifyResponse(
+            tenant=tenant.name,
+            labels=tuple(int(label) for label in np.asarray(labels)),
+        )
+
+    async def encode(self, tenant_name: str, payload: Any) -> EncodeResponse:
+        tenant, lane = self._admit(tenant_name)
+        rows = self._validate_rows(tenant, parse_samples(payload))
+        packed = await lane.encode.submit(rows)
+        return EncodeResponse(
+            tenant=tenant.name,
+            dim=tenant.encoder.dim,
+            packed_hex=packed_rows_to_hex(np.asarray(packed)),
+        )

@@ -1,0 +1,167 @@
+"""In-process ASGI client: drive the app without sockets or deps.
+
+The client owns a private event loop on a background thread and submits
+each request as a coroutine via ``run_coroutine_threadsafe`` — the same
+portal pattern starlette's TestClient uses. That makes it safe to call
+from many client threads at once, which is exactly what the load bench
+does to generate concurrency: N threads block on their futures while
+the single loop thread coalesces their requests in the micro-batcher.
+
+Entering the context manager runs the app's lifespan startup; leaving
+runs shutdown (flushing the batcher windows) and stops the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json as _json
+import threading
+from typing import Any
+
+from repro.serving.asgi import App
+
+
+class Response:
+    """Captured response: status plus parsed JSON body."""
+
+    def __init__(self, status: int, headers: list, body: bytes) -> None:
+        self.status = status
+        self.headers = {
+            key.decode(): value.decode() for key, value in headers
+        }
+        self.content = body
+
+    def json(self) -> Any:
+        return _json.loads(self.content)
+
+    def __repr__(self) -> str:
+        return f"Response({self.status}, {self.content[:80]!r})"
+
+
+class TestClient:
+    """Synchronous facade over an ASGI app running on a private loop."""
+
+    #: Not a test case, despite the (starlette-conventional) name.
+    __test__ = False
+
+    def __init__(self, app: App, timeout_s: float = 30.0) -> None:
+        self.app = app
+        self.timeout_s = timeout_s
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._lifespan_in: asyncio.Queue | None = None
+        self._lifespan_events: asyncio.Queue | None = None
+        self._lifespan_task: asyncio.Future | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def __enter__(self) -> "TestClient":
+        started = threading.Event()
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            started.set()
+            loop.run_forever()
+            loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="serving-testclient", daemon=True
+        )
+        self._thread.start()
+        started.wait()
+        self._call(self._start_lifespan())
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        try:
+            self._call(self._stop_lifespan())
+        finally:
+            assert self._loop is not None
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            assert self._thread is not None
+            self._thread.join(timeout=self.timeout_s)
+            self._loop = None
+            self._thread = None
+
+    def _call(self, coro) -> Any:
+        assert self._loop is not None, "use TestClient as a context manager"
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(timeout=self.timeout_s)
+
+    async def _start_lifespan(self) -> None:
+        self._lifespan_in = asyncio.Queue()
+        events: asyncio.Queue = asyncio.Queue()
+
+        async def send(message: dict) -> None:
+            await events.put(message)
+
+        self._lifespan_task = asyncio.ensure_future(
+            self.app({"type": "lifespan"}, self._lifespan_in.get, send)
+        )
+        await self._lifespan_in.put({"type": "lifespan.startup"})
+        ack = await events.get()
+        if ack["type"] != "lifespan.startup.complete":
+            raise RuntimeError(f"lifespan startup failed: {ack}")
+        self._lifespan_events = events
+
+    async def _stop_lifespan(self) -> None:
+        assert self._lifespan_in is not None and self._lifespan_events is not None
+        await self._lifespan_in.put({"type": "lifespan.shutdown"})
+        ack = await self._lifespan_events.get()
+        if ack["type"] != "lifespan.shutdown.complete":
+            raise RuntimeError(f"lifespan shutdown failed: {ack}")
+        assert self._lifespan_task is not None
+        await self._lifespan_task
+
+    # -- requests ------------------------------------------------------
+
+    def request(
+        self, method: str, path: str, json: Any | None = None
+    ) -> Response:
+        body = b"" if json is None else _json.dumps(json).encode()
+        return self._call(self._request(method, path, body))
+
+    def get(self, path: str) -> Response:
+        return self.request("GET", path)
+
+    def post(self, path: str, json: Any) -> Response:
+        return self.request("POST", path, json=json)
+
+    async def _request(self, method: str, path: str, body: bytes) -> Response:
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "path": path,
+            "raw_path": path.encode(),
+            "query_string": b"",
+            "headers": [(b"content-type", b"application/json")],
+        }
+        received = False
+
+        async def receive() -> dict:
+            nonlocal received
+            if received:
+                return {"type": "http.disconnect"}
+            received = True
+            return {"type": "http.request", "body": body, "more_body": False}
+
+        messages: list[dict] = []
+
+        async def send(message: dict) -> None:
+            messages.append(message)
+
+        await self.app(scope, receive, send)
+        status = 500
+        headers: list = []
+        chunks: list[bytes] = []
+        for message in messages:
+            if message["type"] == "http.response.start":
+                status = message["status"]
+                headers = message.get("headers", [])
+            elif message["type"] == "http.response.body":
+                chunks.append(message.get("body", b""))
+        return Response(status, headers, b"".join(chunks))

@@ -132,3 +132,53 @@ class TestValidation:
         x, y = make_separable(rng)
         with pytest.raises(ConfigurationError):
             HDClassifier(encoder, C).fit(x, y + C)
+
+
+class TestTrainedStateRoundTrip:
+    """Export/restore of the trained class memory (serving provisioning)."""
+
+    def test_accumulators_round_trip_binary(self, encoder, rng):
+        x, y = make_separable(rng)
+        model = HDClassifier(encoder, C, binary=True, rng=12).fit(x, y)
+        restored = HDClassifier(encoder, C, binary=True, rng=99)
+        restored.load_accumulators(
+            model.class_accumulators, binary_classes=model.class_matrix
+        )
+        np.testing.assert_array_equal(
+            restored.class_matrix, model.class_matrix
+        )
+        np.testing.assert_array_equal(restored.predict(x), model.predict(x))
+
+    def test_accumulators_round_trip_nonbinary(self, encoder, rng):
+        x, y = make_separable(rng)
+        model = HDClassifier(encoder, C, binary=False, rng=13).fit(x, y)
+        restored = HDClassifier(encoder, C, binary=False)
+        restored.load_accumulators(model.class_accumulators)
+        np.testing.assert_array_equal(restored.predict(x), model.predict(x))
+
+    def test_accumulators_are_a_copy(self, encoder, rng):
+        x, y = make_separable(rng)
+        model = HDClassifier(encoder, C, rng=14).fit(x, y)
+        exported = model.class_accumulators
+        exported[:] = 0.0
+        assert model.class_accumulators.any()
+
+    def test_untrained_export_raises(self, encoder):
+        with pytest.raises(ConfigurationError):
+            HDClassifier(encoder, C).class_accumulators
+
+    def test_wrong_shape_refused(self, encoder):
+        model = HDClassifier(encoder, C)
+        with pytest.raises(DimensionMismatchError):
+            model.load_accumulators(np.zeros((C, D + 1)))
+        with pytest.raises(DimensionMismatchError):
+            model.load_accumulators(
+                np.zeros((C, D)), binary_classes=np.ones((C + 1, D))
+            )
+
+    def test_binary_snapshot_refused_on_nonbinary_model(self, encoder):
+        model = HDClassifier(encoder, C, binary=False)
+        with pytest.raises(ConfigurationError):
+            model.load_accumulators(
+                np.zeros((C, D)), binary_classes=np.ones((C, D))
+            )

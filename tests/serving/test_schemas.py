@@ -1,0 +1,68 @@
+"""Request parsing and packed-hex transport contracts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving.errors import RequestValidationError
+from repro.serving.schemas import (
+    MAX_ROWS_PER_REQUEST,
+    hex_to_packed_row,
+    packed_rows_to_hex,
+    parse_samples,
+)
+
+
+class TestParseSamples:
+    def test_single_sample(self):
+        rows = parse_samples({"sample": [1, 2, 3]})
+        assert rows.shape == (1, 3)
+        assert rows.dtype == np.int64
+
+    def test_batch(self):
+        rows = parse_samples({"samples": [[1, 2], [3, 4], [5, 6]]})
+        assert rows.shape == (3, 2)
+        np.testing.assert_array_equal(rows, [[1, 2], [3, 4], [5, 6]])
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not a dict",
+            {},
+            {"sample": [1], "samples": [[1]]},
+            {"samples": []},
+            {"samples": "nope"},
+            {"samples": [[]]},
+            {"samples": [[1, 2], [3]]},
+            {"sample": [1, 2.5]},
+            {"sample": [1, "2"]},
+            {"sample": [True, False]},
+            {"samples": [[1], "x"]},
+        ],
+    )
+    def test_rejects(self, payload):
+        with pytest.raises(RequestValidationError):
+            parse_samples(payload)
+
+    def test_row_cap(self):
+        over = [[1]] * (MAX_ROWS_PER_REQUEST + 1)
+        with pytest.raises(RequestValidationError, match="split the batch"):
+            parse_samples({"samples": over})
+
+
+class TestPackedHex:
+    def test_round_trip(self, rng):
+        packed = rng.integers(0, 2**63, size=(4, 3), dtype=np.uint64)
+        texts = packed_rows_to_hex(packed)
+        assert len(texts) == 4
+        for row, text in zip(packed, texts):
+            np.testing.assert_array_equal(hex_to_packed_row(text), row)
+
+    def test_hex_is_big_endian_words(self):
+        packed = np.array([[0x0102030405060708]], dtype=np.uint64)
+        assert packed_rows_to_hex(packed) == ("0102030405060708",)
+
+    def test_bad_hex_width(self):
+        with pytest.raises(RequestValidationError):
+            hex_to_packed_row("abcd")
