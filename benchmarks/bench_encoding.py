@@ -104,7 +104,7 @@ def test_encode_batch_old_vs_new(benchmark, dim, quick, shape):
 
     start = time.perf_counter()
     fresh = RecordEncoder.random(n_features, levels, dim, rng=5)
-    fresh.plan  # include the one-time plan compile in the honest figure
+    _ = fresh.plan  # include the one-time plan compile in the honest figure
     fresh.encode_batch(samples, True)
     engine_seconds = time.perf_counter() - start
     print(
@@ -126,8 +126,8 @@ def test_encode_batch_packed_vs_dense(benchmark, dim, quick):
     dense_side = RecordEncoder.random(n_features, M, dim, rng=9)
     packed_side = RecordEncoder.random(n_features, M, dim, rng=9)
     samples = np.random.default_rng(10).integers(0, M, (batch, n_features))
-    dense_side.plan
-    packed_side.plan
+    _ = dense_side.plan
+    _ = packed_side.plan
 
     start = time.perf_counter()
     want = pack_words(dense_side.encode_batch(samples, binary=True))
@@ -139,7 +139,7 @@ def test_encode_batch_packed_vs_dense(benchmark, dim, quick):
     benchmark(packed_side.encode_batch_packed, samples)
 
     fresh = RecordEncoder.random(n_features, M, dim, rng=9)
-    fresh.plan
+    _ = fresh.plan
     start = time.perf_counter()
     fresh.encode_batch_packed(samples)
     packed_seconds = time.perf_counter() - start
@@ -185,7 +185,7 @@ def test_encode_batch_nonbinary_engine(benchmark, dim, quick):
     batch = 32 if quick else 256
     encoder = RecordEncoder.random(N, M, dim, rng=7)
     samples = np.random.default_rng(8).integers(0, M, (batch, N))
-    encoder.plan
+    _ = encoder.plan
     benchmark(encoder.encode_batch, samples, False)
 
 

@@ -21,13 +21,13 @@ def test_fig7_complexity_series(benchmark):
     by_pool = {}
     for dim, pool, guesses in result.surface_7a:
         by_pool.setdefault(pool, []).append((dim, guesses))
-    for pool, series in by_pool.items():
+    for series in by_pool.values():
         (d1, g1), (d2, g2) = series[0], series[-1]
         assert g2 / g1 == (d2 / d1) ** 2
     # exponential growth in 7b: constant ratio D*P between layers
     for pool, curve in result.curves_7b.items():
         values = [g for _, g in curve]
-        for a, b in zip(values, values[1:]):
+        for a, b in zip(values, values[1:], strict=False):
             assert b // a == 10_000 * pool
     benchmark.extra_info["checkpoints"] = {
         c.label: c.computed for c in result.checkpoints

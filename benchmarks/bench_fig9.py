@@ -25,9 +25,9 @@ def test_fig9_relative_encoding_time(benchmark):
             f"{name}: L=2 overhead {value:.3f} vs paper 1.21"
         )
     # linearity: equal increments between consecutive depths
-    for name, curve in result.curves.items():
+    for curve in result.curves.values():
         values = [v for _, v in sorted(curve)]
-        increments = [b - a for a, b in zip(values, values[1:])]
+        increments = [b - a for a, b in zip(values, values[1:], strict=False)]
         assert max(increments) - min(increments) < 1e-6
     # dataset independence: curves nearly coincide
     assert result.curve_spread_at_l2 < 0.02

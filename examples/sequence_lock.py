@@ -54,11 +54,11 @@ def make_language_samples(rng: np.random.Generator):
 def train_and_score(encoder: NGramEncoder, train, test, rng) -> float:
     (train_seqs, train_y), (test_seqs, test_y) = train, test
     accums = np.zeros((CLASSES, DIM), dtype=np.float64)
-    for seq, label in zip(train_seqs, train_y):
+    for seq, label in zip(train_seqs, train_y, strict=True):
         accums[label] += encoder.encode(seq, binary=True)
     classes = sign(accums, rng)
     correct = 0
-    for seq, label in zip(test_seqs, test_y):
+    for seq, label in zip(test_seqs, test_y, strict=True):
         query = encoder.encode(seq, binary=True)
         if int(np.argmin(hamming(classes, query))) == label:
             correct += 1

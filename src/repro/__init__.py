@@ -101,6 +101,24 @@ several times the throughput (``benchmarks/bench_serving.py`` →
 fleet or previously provisioned tenant directories; ``--self-check``
 is the CI smoke body.
 
+Enforced invariants (reprolint)
+-------------------------------
+
+The guarantees above are invariants the test suite can only
+spot-check, so :mod:`repro.analysis` enforces them statically on every
+push (blocking CI job): all randomness flows through seeded
+``SeedSequence``-derived generators (RL001 — protects the golden-seed
+digests and ``--jobs``-invariant artifacts), the packed hot path never
+round-trips through ``packbits``/``unpackbits`` or promotes packed
+words to wide dtypes (RL002 — protects the PR 1–2 speedups), nothing
+blocks the serving event loop inside ``async def`` (RL003 — protects
+the micro-batcher's deterministic flush and tail latency), public
+boundaries raise only taxonomy errors (RL004), and acquired handles
+have deterministic release paths (RL005). Run it locally with
+``python -m repro.analysis src tests benchmarks examples``; see the
+:mod:`repro.analysis` docstring for the rule table and suppression
+syntax.
+
 Quickstart::
 
     from repro import (
@@ -166,7 +184,7 @@ from repro.memory import (
 )
 from repro.model import HDClassifier, train_model
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",

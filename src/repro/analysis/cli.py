@@ -1,0 +1,118 @@
+"""``python -m repro.analysis`` — run reprolint over files and trees.
+
+Exit codes: 0 clean, 1 findings, 2 usage/IO error (mirrors the
+experiment runner's convention). Directories are walked for ``*.py``;
+paths given explicitly are linted whatever their suffix, which is how
+the test fixtures (``tests/analysis/fixtures/*.py.txt`` — deliberately
+not ``.py`` so the repo-wide sweep, pytest, and ruff never pick up
+their seeded violations) are exercised.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+import repro.analysis.rules  # noqa: F401  (populate the registry)
+from repro.analysis.core import Finding, all_rules, lint_file
+from repro.analysis.reporting import FORMATTERS, render
+
+#: Directory names never descended into during tree walks.
+_SKIP_DIRS = frozenset(
+    {".git", "__pycache__", ".ruff_cache", ".pytest_cache", "build", "dist"}
+)
+
+
+def collect_files(paths: Sequence[str]) -> list[Path]:
+    """Expand CLI path arguments into the list of files to lint."""
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                sub
+                for sub in sorted(path.rglob("*.py"))
+                if not any(part in _SKIP_DIRS for part in sub.parts)
+            )
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    # De-duplicate while preserving order (a file named inside a tree).
+    seen: set[Path] = set()
+    unique: list[Path] = []
+    for file in files:
+        if file not in seen:
+            seen.add(file)
+            unique.append(file)
+    return unique
+
+
+def _list_rules() -> str:
+    lines = ["reprolint rules:"]
+    for rule_cls in all_rules():
+        lines.append(f"  {rule_cls.rule_id} [{rule_cls.severity}] "
+                     f"{rule_cls.title}")
+        lines.append(f"      {rule_cls.rationale}")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "reprolint: AST-based invariant linter for the HDLock repo "
+            "(determinism, packed-path hygiene, async-safety, error "
+            "taxonomy, resource safety)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files and/or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(FORMATTERS),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    try:
+        files = collect_files(args.paths)
+    except FileNotFoundError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+    if not files:
+        print("reprolint: no python files under the given paths",
+              file=sys.stderr)
+        return 2
+    findings: list[Finding] = []
+    for file in files:
+        try:
+            findings.extend(lint_file(file))
+        except OSError as exc:
+            print(f"reprolint: cannot read {file}: {exc}", file=sys.stderr)
+            return 2
+    print(render(args.format, findings, files_checked=len(files)))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised as a module
+    raise SystemExit(main())

@@ -1,0 +1,247 @@
+"""Rule framework: findings, the registry, and the per-file runner.
+
+A rule is a class deriving from :class:`Rule` with a unique ``rule_id``
+(``RLnnn``), a severity, one-paragraph ``rationale`` docs, and a
+``check(ctx)`` generator yielding :class:`Finding` objects. Rules are
+made discoverable with the :func:`register` decorator; importing
+:mod:`repro.analysis.rules` populates the registry.
+
+The runner (:func:`lint_source` / :func:`lint_file`) parses the file
+once, hands every registered rule a shared :class:`ModuleContext`, and
+then applies the ``# reprolint: disable=...`` directives collected by
+:mod:`repro.analysis.suppressions` — emitting RL000 hygiene findings
+for directives that are unjustified or suppressed nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from repro.analysis.suppressions import (
+    SUPPRESSION_HYGIENE_ID,
+    Directive,
+    hygiene_messages,
+    parse_directives,
+    parse_module_override,
+)
+
+#: Rule id reserved for files the parser rejects (not a registered
+#: rule: a file that does not parse cannot be checked at all, and the
+#: finding cannot be suppressed since directives live in parsed lines).
+SYNTAX_ERROR_ID = "RL999"
+
+#: Severity levels, ordered. Every current rule is an ``error`` —
+#: findings block CI — but the field keeps room for advisory rules.
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule_id: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    severity: str = "error"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "file": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may inspect about one source file.
+
+    ``module`` is the dotted import path inferred from the file's
+    location (``src/repro/hv/ops.py`` → ``repro.hv.ops``; files outside
+    a package root get their relative path dotted, e.g.
+    ``tests.hv.test_ops``), which is what rules scope on.
+    """
+
+    path: str
+    module: str
+    tree: ast.Module
+    source: str
+    lines: list[str] = field(default_factory=list)
+
+    def in_package(self, *prefixes: str) -> bool:
+        """True when the module sits under any of the dotted prefixes."""
+        return any(
+            self.module == p or self.module.startswith(p + ".")
+            for p in prefixes
+        )
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set the class attributes and implement :meth:`check` as
+    a generator over the module AST. ``rationale`` is surfaced by
+    ``--list-rules`` and the README rule table; keep it one paragraph
+    naming the invariant and the test surface it protects.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    severity: str = "error"
+    rationale: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: ModuleContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            message=message,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            severity=self.severity,
+        )
+
+
+#: rule_id -> rule class. Populated by :func:`register` at import time
+#: of :mod:`repro.analysis.rules`.
+REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.rule_id:
+        raise ValueError(f"rule {cls.__name__} has no rule_id")
+    if cls.severity not in SEVERITIES:
+        raise ValueError(
+            f"rule {cls.rule_id}: severity {cls.severity!r} not in "
+            f"{SEVERITIES}"
+        )
+    existing = REGISTRY.get(cls.rule_id)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"duplicate rule id {cls.rule_id}: {existing.__name__} and "
+            f"{cls.__name__}"
+        )
+    REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> list[type[Rule]]:
+    """Registered rules sorted by id (import :mod:`.rules` first)."""
+    return [REGISTRY[rule_id] for rule_id in sorted(REGISTRY)]
+
+
+def infer_module(path: str | Path, src_roots: Iterable[str] = ("src",)) -> str:
+    """Dotted module name for scoping decisions, from the file path.
+
+    The path needs no leading package root to resolve: the segment
+    after any directory named in ``src_roots`` starts the module, and
+    otherwise the whole relative path is dotted. ``__init__`` maps to
+    its package.
+    """
+    parts = list(Path(path).parts)
+    for root in src_roots:
+        if root in parts:
+            parts = parts[parts.index(root) + 1 :]
+            break
+    if not parts:
+        return ""
+    parts[-1] = Path(parts[-1]).stem
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(p for p in parts if p not in (".", ""))
+
+
+def _apply_suppressions(
+    findings: list[Finding],
+    directives: list[Directive],
+    path: str,
+) -> list[Finding]:
+    """Drop suppressed findings; append RL000 hygiene findings."""
+    kept: list[Finding] = []
+    by_line: dict[tuple[int, str], Directive] = {}
+    for directive in directives:
+        for rule_id in directive.rule_ids:
+            by_line[(directive.line, rule_id)] = directive
+    for finding in findings:
+        directive = by_line.get((finding.line, finding.rule_id))
+        if directive is not None and finding.rule_id != SUPPRESSION_HYGIENE_ID:
+            directive.used_ids.add(finding.rule_id)
+        else:
+            kept.append(finding)
+    for message, line in hygiene_messages(directives):
+        kept.append(
+            Finding(
+                rule_id=SUPPRESSION_HYGIENE_ID,
+                message=message,
+                path=path,
+                line=line,
+            )
+        )
+    return kept
+
+
+def lint_source(
+    source: str,
+    path: str,
+    module: str | None = None,
+    rules: Iterable[type[Rule]] | None = None,
+) -> list[Finding]:
+    """Run every (or the given) rule over one in-memory source file."""
+    if rules is None:
+        rules = all_rules()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule_id=SYNTAX_ERROR_ID,
+                message=f"file does not parse: {exc.msg}",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+            )
+        ]
+    if module is None:
+        module = parse_module_override(source)
+    ctx = ModuleContext(
+        path=path,
+        module=module if module is not None else infer_module(path),
+        tree=tree,
+        source=source,
+        lines=source.splitlines(),
+    )
+    findings: list[Finding] = []
+    for rule_cls in rules:
+        findings.extend(rule_cls().check(ctx))
+    directives = parse_directives(source)
+    findings = _apply_suppressions(findings, directives, path)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
+    return findings
+
+
+def lint_file(
+    path: str | Path,
+    rules: Iterable[type[Rule]] | None = None,
+    reader: Callable[[Path], str] | None = None,
+) -> list[Finding]:
+    """Run the linter over one on-disk file."""
+    file_path = Path(path)
+    source = (
+        reader(file_path)
+        if reader is not None
+        else file_path.read_text(encoding="utf-8")
+    )
+    return lint_source(source, str(file_path), rules=rules)

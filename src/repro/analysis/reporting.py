@@ -1,0 +1,71 @@
+"""Render findings as text, JSON, or GitHub workflow annotations."""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.analysis.core import Finding
+
+#: Schema version of the ``--format json`` report (golden-pinned by
+#: ``tests/analysis``); bump on breaking layout changes.
+REPORT_SCHEMA_VERSION = 1
+
+
+def render_text(findings: list[Finding], files_checked: int) -> str:
+    """One ``path:line:col: RLnnn message`` line per finding + summary."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.rule_id} {f.message}"
+        for f in findings
+    ]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(
+        f"reprolint: {len(findings)} {noun} in {files_checked} files"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding], files_checked: int) -> str:
+    """Stable machine-readable report (sorted findings, sorted keys)."""
+    payload = {
+        "schema": REPORT_SCHEMA_VERSION,
+        "tool": "reprolint",
+        "files_checked": files_checked,
+        "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _escape_annotation(text: str) -> str:
+    """GitHub workflow-command data escaping (%, CR, LF)."""
+    return (
+        text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def render_github(findings: list[Finding], files_checked: int) -> str:
+    """``::error`` workflow commands — findings annotate the PR diff."""
+    lines = [
+        f"::{f.severity} file={f.path},line={f.line},"
+        f"col={f.col + 1},title=reprolint {f.rule_id}::"
+        f"{_escape_annotation(f.message)}"
+        for f in findings
+    ]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(
+        f"reprolint: {len(findings)} {noun} in {files_checked} files"
+    )
+    return "\n".join(lines)
+
+
+FORMATTERS = {
+    "text": render_text,
+    "json": render_json,
+    "github": render_github,
+}
+
+
+def render(
+    fmt: str, findings: Iterable[Finding], files_checked: int
+) -> str:
+    return FORMATTERS[fmt](list(findings), files_checked)

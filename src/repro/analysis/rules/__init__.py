@@ -1,0 +1,14 @@
+"""Import every rule module so the registry is populated.
+
+Adding a rule = adding a module here with a ``@register``-ed class;
+nothing else needs to change (the CLI, formats, suppression machinery,
+and ``--list-rules`` all read the registry).
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (imported for side effects)
+    async_safety,
+    determinism,
+    error_taxonomy,
+    packed,
+    resources,
+)

@@ -1,0 +1,72 @@
+"""Shared AST helpers for rule implementations.
+
+The rules match *canonical* dotted names (``numpy.random.rand``,
+``time.sleep``) rather than surface spellings, so an aliased import
+(``import numpy as np``, ``from numpy.random import rand as r``)
+cannot dodge a rule. :class:`ImportMap` records what each local name
+binds to; :meth:`ImportMap.resolve` expands a ``Name``/``Attribute``
+chain through those bindings.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+class ImportMap:
+    """Local name → canonical dotted module/object path."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.bindings: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self.bindings[alias.asname] = alias.name
+                    else:
+                        # ``import numpy.random`` binds the root name.
+                        root = alias.name.split(".", 1)[0]
+                        self.bindings[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports never bind the targets
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.bindings[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Canonical dotted path of a name/attribute chain, or None.
+
+        ``np.random.rand`` with ``import numpy as np`` resolves to
+        ``numpy.random.rand``; a chain whose root is not an imported
+        name resolves through the root unchanged (so ``time.sleep``
+        still matches in a file the linter has no imports for, e.g. a
+        fixture snippet).
+        """
+        parts: list[str] = []
+        cursor = node
+        while isinstance(cursor, ast.Attribute):
+            parts.append(cursor.attr)
+            cursor = cursor.value
+        if not isinstance(cursor, ast.Name):
+            return None
+        root = self.bindings.get(cursor.id, cursor.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+def call_path(imports: ImportMap, node: ast.Call) -> str | None:
+    """Canonical dotted path of a call's callee, or None."""
+    return imports.resolve(node.func)
+
+
+def contains_call_to(
+    imports: ImportMap, node: ast.AST, paths: frozenset[str]
+) -> ast.Call | None:
+    """First call anywhere under ``node`` whose callee is in ``paths``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            resolved = call_path(imports, sub)
+            if resolved is not None and resolved in paths:
+                return sub
+    return None

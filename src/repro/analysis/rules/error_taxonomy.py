@@ -1,0 +1,110 @@
+"""RL004 — public boundaries speak the library's error taxonomy.
+
+The serving adapter maps exception *types* to HTTP statuses (the
+``app.py`` table: ``ServingError`` subclasses carry their own status,
+``ReproError`` subclasses fold to 422/409-style responses, anything
+else is a 500). The keystore/provisioning layer makes the same
+promise: loaders wrap ``OSError``/``ValueError`` into
+``ConfigurationError``/``KeyFormatError`` so callers can catch one
+hierarchy (PR 6's tamper-matrix tests pin this). A bare
+``raise ValueError`` inside ``repro.serving`` or ``repro.hdlock``
+therefore surfaces to a client as an anonymous 500 instead of a typed
+4xx — and an ``except Exception: pass`` hides a runner failure
+entirely. Both pass the happy-path tests.
+
+The rule is scoped to the two public-boundary packages; deep library
+math (``repro.hv`` etc.) legitimately raises ``ValueError`` for plain
+programming errors.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule, register
+
+#: Packages whose raises must use the repro.errors / ServingError
+#: hierarchies.
+SCOPED_PACKAGES = ("repro.serving", "repro.hdlock")
+
+#: Builtin exception types that must not be raised bare at a public
+#: boundary (the adapter cannot map them to a meaningful status).
+_BANNED_RAISES = frozenset({"Exception", "BaseException", "ValueError"})
+
+#: Handler types whose silent swallowing hides failures.
+_BROAD_HANDLERS = frozenset({"Exception", "BaseException"})
+
+
+def _is_swallowed(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing with the exception."""
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        )
+        or isinstance(stmt, ast.Continue)
+        for stmt in handler.body
+    )
+
+
+@register
+class ErrorTaxonomyRule(Rule):
+    rule_id = "RL004"
+    title = "error taxonomy"
+    severity = "error"
+    rationale = (
+        "repro.serving and repro.hdlock are public boundaries: raises "
+        "must use the repro.errors / ServingError hierarchies so the "
+        "HTTP adapter and provisioning callers can map types to "
+        "statuses, and broad except handlers must not swallow "
+        "exceptions silently."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_package(*SCOPED_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Raise):
+                yield from self._check_raise(ctx, node)
+            elif isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(ctx, node)
+
+    def _check_raise(
+        self, ctx: ModuleContext, node: ast.Raise
+    ) -> Iterator[Finding]:
+        exc = node.exc
+        name: str | None = None
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            name = exc.func.id
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        if name in _BANNED_RAISES:
+            yield self.finding(
+                ctx,
+                node,
+                f"bare 'raise {name}' at a public boundary surfaces as "
+                f"an anonymous 500 / untyped failure; raise a "
+                f"repro.errors.ReproError or "
+                f"repro.serving.errors.ServingError subclass",
+            )
+
+    def _check_handler(
+        self, ctx: ModuleContext, node: ast.ExceptHandler
+    ) -> Iterator[Finding]:
+        broad = node.type is None or (
+            isinstance(node.type, ast.Name) and node.type.id in _BROAD_HANDLERS
+        )
+        if broad and _is_swallowed(node):
+            caught = (
+                ast.unparse(node.type) if node.type is not None else "<all>"
+            )
+            yield self.finding(
+                ctx,
+                node,
+                f"'except {caught}' swallows the failure silently; "
+                f"narrow the type, re-raise as a taxonomy error, or at "
+                f"minimum record why discarding is safe",
+            )

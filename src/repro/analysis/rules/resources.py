@@ -1,0 +1,173 @@
+"""RL005 — acquired handles have a deterministic release path.
+
+The serving stack holds an mmap open per tenant key store for the
+process lifetime — that one is *owned* (``KeyStore.close`` exists and
+the registry controls it). What must not happen is the accidental
+variant: a file or mmap opened mid-function, then leaked when an
+exception skips the ``close()``. Under fleet-scale provisioning
+(bulk append loops, rotation sweeps) leaked descriptors accumulate
+until the process hits ``EMFILE`` — in production that is the serving
+process.
+
+The rule flags an assignment whose value is an acquiring call
+(``open``, ``os.open``, ``mmap.mmap``, ``np.memmap``,
+``socket.socket``…) unless one of the accepted custody chains holds:
+
+* the call is a ``with`` context item (``with open(...) as fh``);
+* the assigned name is ``.close()``-d inside a ``finally`` block of
+  the same function (or ``with contextlib.closing``);
+* the name's descriptor is handed to ``os.fdopen`` (ownership
+  transfer — the file object now carries the close obligation);
+* the target is an attribute (``self._records = np.memmap(...)``)
+  and the enclosing class defines ``close``/``__exit__``/``__del__``
+  — instance-owned handles with an explicit lifecycle.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule, register
+from repro.analysis.rules.common import ImportMap, call_path
+
+#: Canonical callables that acquire an OS-level resource.
+_ACQUIRING_CALLS = frozenset(
+    {
+        "open",
+        "os.open",
+        "os.fdopen",
+        "mmap.mmap",
+        "numpy.memmap",
+        "socket.socket",
+        "socket.create_connection",
+        "tempfile.NamedTemporaryFile",
+        "tempfile.TemporaryFile",
+    }
+)
+
+#: Class members that establish an owned-handle lifecycle.
+_LIFECYCLE_METHODS = frozenset({"close", "__exit__", "__del__", "aclose"})
+
+
+@register
+class ResourceSafetyRule(Rule):
+    rule_id = "RL005"
+    title = "resource safety"
+    severity = "error"
+    rationale = (
+        "File/mmap/socket handles acquired outside a with-block need a "
+        "paired close() in a finally (or an owning class with a "
+        "close/__exit__ lifecycle); anything less leaks descriptors on "
+        "the exception path until the serving process hits EMFILE."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        imports = ImportMap(ctx.tree)
+        yield from self._scan(ctx, imports, ctx.tree, None, None)
+
+    def _scan(
+        self,
+        ctx: ModuleContext,
+        imports: ImportMap,
+        scope: ast.AST,
+        func: ast.AST | None,
+        cls: ast.ClassDef | None,
+    ) -> Iterator[Finding]:
+        for node in ast.iter_child_nodes(scope):
+            if isinstance(node, ast.ClassDef):
+                yield from self._scan(ctx, imports, node, func, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._scan(ctx, imports, node, node, cls)
+            else:
+                yield from self._check_statement(ctx, imports, node, func, cls)
+                yield from self._scan(ctx, imports, node, func, cls)
+
+    def _check_statement(
+        self,
+        ctx: ModuleContext,
+        imports: ImportMap,
+        node: ast.AST,
+        func: ast.AST | None,
+        cls: ast.ClassDef | None,
+    ) -> Iterator[Finding]:
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            return
+        value = node.value
+        if not isinstance(value, ast.Call):
+            return
+        path = call_path(imports, value)
+        if path not in _ACQUIRING_CALLS:
+            return
+        targets = node.targets if isinstance(node, ast.Assign) else [
+            node.target
+        ]
+        for target in targets:
+            if isinstance(target, ast.Attribute):
+                if cls is not None and self._class_has_lifecycle(cls):
+                    continue
+                yield self.finding(
+                    ctx,
+                    value,
+                    f"{path}() stored on {ast.unparse(target)} but the "
+                    f"enclosing class defines no "
+                    f"close/__exit__/__del__ lifecycle; the handle can "
+                    f"never be released deterministically",
+                )
+            elif isinstance(target, ast.Name):
+                if func is not None and self._released(func, target.id):
+                    continue
+                yield self.finding(
+                    ctx,
+                    value,
+                    f"{path}() assigned to {target.id!r} without a "
+                    f"paired {target.id}.close() in a finally block "
+                    f"(or a with-statement); the exception path leaks "
+                    f"the handle",
+                )
+
+    @staticmethod
+    def _class_has_lifecycle(cls: ast.ClassDef) -> bool:
+        return any(
+            isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name in _LIFECYCLE_METHODS
+            for stmt in cls.body
+        )
+
+    def _released(self, func: ast.AST, name: str) -> bool:
+        """True when ``name`` reaches a sanctioned custody chain."""
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Try,)):
+                for stmt in node.finalbody:
+                    if self._closes(stmt, name):
+                        return True
+            elif isinstance(node, ast.Call):
+                # Ownership transfer: os.fdopen(fd) / closing(handle) /
+                # contextlib.ExitStack().enter_context(handle).
+                callee = node.func
+                transfer = (
+                    isinstance(callee, ast.Attribute)
+                    and callee.attr in ("fdopen", "enter_context", "closing")
+                ) or (
+                    isinstance(callee, ast.Name)
+                    and callee.id in ("fdopen", "closing")
+                )
+                if transfer and any(
+                    isinstance(arg, ast.Name) and arg.id == name
+                    for arg in node.args
+                ):
+                    return True
+        return False
+
+    @staticmethod
+    def _closes(stmt: ast.AST, name: str) -> bool:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("close", "aclose")
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == name
+            ):
+                return True
+        return False

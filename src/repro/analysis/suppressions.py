@@ -1,0 +1,165 @@
+"""``# reprolint: disable=...`` directives and their hygiene checks.
+
+Suppression syntax (one comment, on the same line as the finding)::
+
+    risky_call()  # reprolint: disable=RL002 -- key records, not HV planes
+    other()       # reprolint: disable=RL001,RL003 -- fixture exercises both
+
+The ``--`` justification is **mandatory**: an unexplained suppression
+is itself a finding (RL000), as is a suppression that matched nothing
+— stale directives otherwise outlive the violation they excused and
+silently blind the linter to a reintroduction. RL000 findings cannot
+be suppressed.
+
+A second directive form overrides the module name inferred from the
+file path, so a file can opt into module-scoped rules (RL004 only
+fires under ``repro.serving``/``repro.hdlock``) regardless of where it
+lives — the rule fixtures under ``tests/analysis/fixtures`` rely on
+this::
+
+    # reprolint: module=repro.serving.fixture
+
+Directives are read with :mod:`tokenize` rather than a text scan so
+the marker inside a string literal is not mistaken for a directive.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+#: Rule id for directive-hygiene findings (unused / unjustified /
+#: malformed suppressions). Reserved: not in the rule registry and
+#: never suppressible.
+SUPPRESSION_HYGIENE_ID = "RL000"
+
+_DIRECTIVE_RE = re.compile(
+    r"#\s*reprolint:\s*disable=(?P<ids>[A-Z0-9, ]+?)"
+    r"(?:\s*--\s*(?P<why>.*\S))?\s*$"
+)
+
+_RULE_ID_RE = re.compile(r"^RL\d{3}$")
+
+_MODULE_RE = re.compile(
+    r"#\s*reprolint:\s*module=(?P<name>[A-Za-z_][A-Za-z0-9_.]*)\s*$"
+)
+
+
+def parse_module_override(source: str) -> str | None:
+    """The ``# reprolint: module=...`` override, if the file has one."""
+    for line in source.splitlines():
+        match = _MODULE_RE.search(line)
+        if match is not None:
+            return match.group("name")
+    return None
+
+
+@dataclass
+class Directive:
+    """One parsed ``# reprolint: disable=`` comment."""
+
+    line: int
+    rule_ids: tuple[str, ...]
+    justification: str
+    #: Filled by the runner: which of ``rule_ids`` suppressed a finding.
+    used_ids: set[str] = field(default_factory=set)
+    #: Ids that failed to parse as ``RLnnn`` (reported via RL000).
+    malformed_ids: tuple[str, ...] = ()
+
+
+def parse_directives(source: str) -> list[Directive]:
+    """Extract every reprolint directive from the file's comments."""
+    directives: list[Directive] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError):
+        # The AST pass reports the syntax error; nothing to parse here.
+        return []
+    for line, text in comments:
+        match = _DIRECTIVE_RE.search(text)
+        if match is None:
+            # A directive *attempt* names a verb (disable/module) next
+            # to "reprolint"; prose that merely mentions the tool — or
+            # a rule id — is not one.
+            attempted = re.search(
+                r"#\s*reprolint\b.*\b(?:disable|module)\b", text
+            )
+            if attempted and not _MODULE_RE.search(text):
+                # A directive-looking comment that does not parse would
+                # otherwise be ignored silently — surface it instead.
+                directives.append(
+                    Directive(
+                        line=line,
+                        rule_ids=(),
+                        justification="",
+                        malformed_ids=(text.strip(),),
+                    )
+                )
+            continue
+        raw_ids = [
+            part.strip()
+            for part in match.group("ids").split(",")
+            if part.strip()
+        ]
+        good = tuple(i for i in raw_ids if _RULE_ID_RE.match(i))
+        bad = tuple(i for i in raw_ids if not _RULE_ID_RE.match(i))
+        directives.append(
+            Directive(
+                line=line,
+                rule_ids=good,
+                justification=(match.group("why") or "").strip(),
+                malformed_ids=bad,
+            )
+        )
+    return directives
+
+
+def hygiene_messages(
+    directives: list[Directive],
+) -> list[tuple[str, int]]:
+    """RL000 messages for unjustified / unused / malformed directives."""
+    messages: list[tuple[str, int]] = []
+    for d in directives:
+        for bad in d.malformed_ids:
+            messages.append(
+                (
+                    f"malformed suppression {bad!r}: expected "
+                    f"'# reprolint: disable=RLnnn[,RLnnn] -- justification'",
+                    d.line,
+                )
+            )
+        if d.rule_ids and not d.justification:
+            messages.append(
+                (
+                    "suppression carries no justification; append "
+                    "' -- <why this violation is intentional>'",
+                    d.line,
+                )
+            )
+        if SUPPRESSION_HYGIENE_ID in d.rule_ids:
+            messages.append(
+                (
+                    f"{SUPPRESSION_HYGIENE_ID} (suppression hygiene) "
+                    f"cannot itself be suppressed",
+                    d.line,
+                )
+            )
+        for rule_id in d.rule_ids:
+            if rule_id == SUPPRESSION_HYGIENE_ID:
+                continue
+            if rule_id not in d.used_ids:
+                messages.append(
+                    (
+                        f"unused suppression: no {rule_id} finding on "
+                        f"line {d.line}; delete the directive",
+                        d.line,
+                    )
+                )
+    return messages

@@ -9,6 +9,21 @@ reasoning attack.
 
 from __future__ import annotations
 
+#: The taxonomy, by name. reprolint's RL004 rule and the serving
+#: adapter's status-mapping table both key on these class names; the
+#: explicit export list (plus the package's ``py.typed`` marker) keeps
+#: that matching name-robust under refactors — renaming or removing a
+#: member is an API break, not an internal cleanup.
+__all__ = [
+    "AttackError",
+    "ConfigurationError",
+    "DimensionMismatchError",
+    "KeyFormatError",
+    "NotBipolarError",
+    "ReproError",
+    "SecureMemoryError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""

@@ -157,7 +157,7 @@ def render_fig56(result: Fig56Result) -> str:
     """Summary table of the four panels (figure series reduced to the
     statistics that carry the security argument)."""
     rows = []
-    for label, panel in zip(_PANEL_LABELS, result.panels):
+    for label, panel in zip(_PANEL_LABELS, result.panels, strict=True):
         wrong = panel.scores[1:]
         if panel.metric == "hamming":
             best_wrong = f"{wrong.min():.4f}"

@@ -10,6 +10,7 @@ fresh orthogonal ones, so HDLock costs no accuracy at any depth.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
+from functools import partial
 from typing import Any, Mapping, Sequence
 
 from repro.data.benchmarks import BENCHMARK_ORDER, PAPER_REFERENCE, load_benchmark
@@ -126,8 +127,11 @@ def run_fig8(
         dataset = cached(
             cache,
             ("dataset", name, seed, cfg.fig8_sample_scale),
-            lambda: load_benchmark(
-                name, rng=seed, sample_scale=cfg.fig8_sample_scale
+            partial(
+                load_benchmark,
+                name,
+                rng=seed,
+                sample_scale=cfg.fig8_sample_scale,
             ),
         )
         for binary in flavors:
@@ -145,8 +149,8 @@ def run_fig8(
                         cfg.retrain_epochs,
                         run_seed,
                     ),
-                    lambda: _train_cell(
-                        dataset, name, binary, depth, cfg, run_seed
+                    partial(
+                        _train_cell, dataset, name, binary, depth, cfg, run_seed
                     ),
                 )
                 cells.append(

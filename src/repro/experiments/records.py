@@ -44,7 +44,7 @@ import platform
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable, Mapping
+from typing import Any, Final, Iterable, Mapping
 
 import numpy as np
 
@@ -62,7 +62,7 @@ __all__ = [
 
 #: Version of the artifact layout; bump on breaking schema changes so
 #: stale artifacts stop matching the resume key.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION: Final[int] = 1
 
 
 def canonical_json(obj: Any) -> str:

@@ -408,7 +408,9 @@ def _assemble(
         },
     }
     if shards != [None]:
-        timing["shards"] = {str(s): o.elapsed for s, o in zip(shards, outcomes)}
+        timing["shards"] = {
+            str(s): o.elapsed for s, o in zip(shards, outcomes, strict=True)
+        }
     record = ExperimentRecord(
         experiment=name,
         seed=root_seed,
@@ -641,7 +643,7 @@ def main(argv: list[str] | None = None) -> int:
             statuses[name] = {"status": "error", "error": errors[name]}
 
     if out_dir is not None:
-        for name, outcome in outcomes.items():
+        for outcome in outcomes.values():
             outcome.record.write_artifact(out_dir)
         _write_manifest(out_dir, scale, args.seed, args.jobs, statuses)
 

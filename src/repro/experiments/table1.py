@@ -16,6 +16,7 @@ the rest — are scale-free.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
+from functools import partial
 from typing import Any, Mapping, Sequence
 
 from repro.attack.pipeline import run_reasoning_attack, verify_mapping
@@ -90,8 +91,8 @@ def run_table1(
         dataset = cached(
             cache,
             ("dataset", name, seed, cfg.sample_scale),
-            lambda: load_benchmark(
-                name, rng=seed, sample_scale=cfg.sample_scale
+            partial(
+                load_benchmark, name, rng=seed, sample_scale=cfg.sample_scale
             ),
         )
         for binary in flavors:

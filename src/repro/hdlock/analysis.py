@@ -74,7 +74,7 @@ def tradeoff_table(
     n_features: int,
     dim: int,
     pool_size: int,
-    layer_range: Iterable[int] = range(1, 6),
+    layer_range: Iterable[int] = (1, 2, 3, 4, 5),
     config: DatapathConfig | None = None,
 ) -> list[TradeoffRow]:
     """Enumerate the security/latency trade-off across key depths.

@@ -251,14 +251,16 @@ class KeyStore:
         bits = (
             (codes.reshape(batch, -1)[:, :, None] >> shifts) & np.uint64(1)
         ).astype(np.uint8)
-        return np.packbits(bits.reshape(batch, -1), axis=-1)
+        return np.packbits(  # reprolint: disable=RL002 -- packs key-code records for at-rest storage, not HV bit-planes; never on the inference hot path
+            bits.reshape(batch, -1), axis=-1
+        )
 
     def _unpack_records(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Inverse of :meth:`_pack_records`: ``(B, stride)`` bytes to
         ``(B, N, L)`` index/rotation arrays."""
         batch = rows.shape[0]
         n_pairs = self.n_features * self.layers
-        bits = np.unpackbits(
+        bits = np.unpackbits(  # reprolint: disable=RL002 -- unpacks key-code records read from the store, not HV bit-planes; never on the inference hot path
             np.ascontiguousarray(rows), axis=-1, count=n_pairs * self.pair_bits
         ).reshape(batch, n_pairs, self.pair_bits)
         weights = np.uint64(1) << np.arange(

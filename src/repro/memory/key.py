@@ -86,7 +86,7 @@ class SubKey:
 
     def pairs(self) -> Iterator[Tuple[int, int]]:
         """Iterate ``(index, rotation)`` pairs layer by layer."""
-        return zip(self.indices, self.rotations)
+        return zip(self.indices, self.rotations, strict=True)
 
 
 class LockKey:
@@ -152,7 +152,7 @@ class LockKey:
         if self._subkeys is None:
             self._subkeys = tuple(
                 SubKey(tuple(int(v) for v in idx), tuple(int(v) for v in rot))
-                for idx, rot in zip(self._indices, self._rotations)
+                for idx, rot in zip(self._indices, self._rotations, strict=True)
             )
         return self._subkeys
 

@@ -56,7 +56,7 @@ class Request:
         try:
             return json.loads(raw)
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise MalformedBody(f"request body is not valid JSON: {exc}")
+            raise MalformedBody(f"request body is not valid JSON: {exc}") from exc
 
 
 class MalformedBody(Exception):

@@ -33,6 +33,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.serving.errors import ServiceUnavailableError
 
 
@@ -85,9 +86,13 @@ class MicroBatcher:
         name: str = "",
     ) -> None:
         if max_batch < 1:
-            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+            raise ConfigurationError(
+                f"max_batch must be >= 1, got {max_batch}"
+            )
         if max_wait_s < 0:
-            raise ValueError(f"max_wait_s must be >= 0, got {max_wait_s}")
+            raise ConfigurationError(
+                f"max_wait_s must be >= 0, got {max_wait_s}"
+            )
         self._run_batch = run_batch
         self.max_batch = int(max_batch)
         self.max_wait_s = float(max_wait_s)

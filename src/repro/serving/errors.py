@@ -9,25 +9,36 @@ with a status the satellite tests can pin.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, ClassVar
 
 from repro.errors import ReproError
+
+__all__ = [
+    "KeyAccessError",
+    "RequestValidationError",
+    "ServiceUnavailableError",
+    "ServingError",
+    "UnknownTenantError",
+]
 
 
 class ServingError(ReproError):
     """Base class for request-rejecting service errors."""
 
-    status = 500
-    code = "internal_error"
+    #: HTTP status the adapter answers with — class-level contract, not
+    #: per-instance state (hence ``ClassVar``: a subclass *is* a status).
+    status: ClassVar[int] = 500
+    #: Stable machine-readable error code in the response body.
+    code: ClassVar[str] = "internal_error"
 
     def __init__(self, detail: str, **extra: Any) -> None:
         super().__init__(detail)
-        self.detail = detail
-        self.extra = extra
+        self.detail: str = detail
+        self.extra: dict[str, Any] = extra
 
-    def to_payload(self) -> dict:
+    def to_payload(self) -> dict[str, Any]:
         """The JSON body of the error response."""
-        payload = {"error": self.code, "detail": self.detail}
+        payload: dict[str, Any] = {"error": self.code, "detail": self.detail}
         payload.update(self.extra)
         return payload
 
@@ -35,15 +46,15 @@ class ServingError(ReproError):
 class UnknownTenantError(ServingError):
     """The path names a tenant the registry does not hold."""
 
-    status = 404
-    code = "unknown_tenant"
+    status: ClassVar[int] = 404
+    code: ClassVar[str] = "unknown_tenant"
 
 
 class RequestValidationError(ServingError):
     """The request body is malformed or out of contract."""
 
-    status = 422
-    code = "invalid_request"
+    status: ClassVar[int] = 422
+    code: ClassVar[str] = "invalid_request"
 
 
 class KeyAccessError(ServingError):
@@ -54,12 +65,12 @@ class KeyAccessError(ServingError):
     provisioned key.
     """
 
-    status = 403
-    code = "key_access_denied"
+    status: ClassVar[int] = 403
+    code: ClassVar[str] = "key_access_denied"
 
 
 class ServiceUnavailableError(ServingError):
     """The service is shutting down; the batcher no longer accepts work."""
 
-    status = 503
-    code = "service_unavailable"
+    status: ClassVar[int] = 503
+    code: ClassVar[str] = "service_unavailable"

@@ -135,14 +135,19 @@ async def _handle_connection(
             }
             sent_request = False
 
+            # receive/send close over this keep-alive iteration's request
+            # state on purpose: the ASGI app awaits them only inside the
+            # `await app(...)` below, before the next request is parsed,
+            # so the captures can never observe a later iteration (B023
+            # is a false positive here).
             async def receive() -> dict:
                 nonlocal sent_request
-                if sent_request:
+                if sent_request:  # noqa: B023
                     return {"type": "http.disconnect"}
                 sent_request = True
                 return {
                     "type": "http.request",
-                    "body": body,
+                    "body": body,  # noqa: B023
                     "more_body": False,
                 }
 
@@ -151,9 +156,9 @@ async def _handle_connection(
 
             async def send(message: dict) -> None:
                 if message["type"] == "http.response.start":
-                    response_head.update(message)
+                    response_head.update(message)  # noqa: B023
                 elif message["type"] == "http.response.body":
-                    chunks.append(message.get("body", b""))
+                    chunks.append(message.get("body", b""))  # noqa: B023
 
             try:
                 await app(scope, receive, send)

@@ -13,15 +13,26 @@ which the adapter also maps to 422.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Final
 
 import numpy as np
 
 from repro.serving.errors import RequestValidationError
 
+__all__ = [
+    "MAX_ROWS_PER_REQUEST",
+    "ClassifyResponse",
+    "EncodeResponse",
+    "HealthResponse",
+    "TenantDescriptor",
+    "hex_to_packed_row",
+    "packed_rows_to_hex",
+    "parse_samples",
+]
+
 #: Upper bound on rows per request — one request must not monopolize the
 #: batcher window (heavy traffic is many small requests, not one giant).
-MAX_ROWS_PER_REQUEST = 4096
+MAX_ROWS_PER_REQUEST: Final[int] = 4096
 
 
 def parse_samples(payload: Any) -> np.ndarray:
@@ -79,7 +90,7 @@ class HealthResponse:
     version: str
     tenants: int
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "status": self.status,
             "version": self.version,
@@ -101,9 +112,9 @@ class TenantDescriptor:
     device_id: int
     generation: int
     revoked: bool
-    batch_stats: dict
+    batch_stats: dict[str, Any]
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "name": self.name,
             "dim": self.dim,
@@ -126,7 +137,7 @@ class ClassifyResponse:
     tenant: str
     labels: tuple[int, ...]
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {"tenant": self.tenant, "labels": list(self.labels)}
 
 
@@ -145,7 +156,7 @@ class EncodeResponse:
     dim: int
     packed_hex: tuple[str, ...]
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "tenant": self.tenant,
             "dim": self.dim,

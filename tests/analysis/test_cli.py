@@ -1,0 +1,89 @@
+"""The ``python -m repro.analysis`` surface: formats, exit codes, golden.
+
+These run the linter as a subprocess from the repo root — the same
+invocation CI's ``static-analysis`` job uses — so argument parsing,
+path collection, and exit codes are all exercised for real.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURE = "tests/analysis/fixtures/all_bad.py.txt"
+GOLDEN = Path(__file__).parent / "golden" / "all_bad.json"
+
+
+def run_lint(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(REPO_ROOT / "src")
+        + os.pathsep
+        + env.get("PYTHONPATH", "")
+    ).rstrip(os.pathsep)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+        timeout=120,
+    )
+
+
+class TestSeededViolations:
+    def test_json_report_matches_golden(self):
+        result = run_lint(FIXTURE, "--format", "json")
+        assert result.returncode == 1
+        assert json.loads(result.stdout) == json.loads(GOLDEN.read_text())
+
+    def test_expected_rule_ids_in_json(self):
+        result = run_lint(FIXTURE, "--format", "json")
+        payload = json.loads(result.stdout)
+        ids = [f["rule"] for f in payload["findings"]]
+        assert ids == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL000"]
+        assert payload["files_checked"] == 1
+
+    def test_github_format_annotates_each_finding(self):
+        result = run_lint(FIXTURE, "--format", "github")
+        assert result.returncode == 1
+        annotations = [
+            line
+            for line in result.stdout.splitlines()
+            if line.startswith("::error ")
+        ]
+        assert len(annotations) == 6
+        assert f"file={FIXTURE}" in annotations[0]
+
+    def test_text_format_and_exit_code(self):
+        result = run_lint(FIXTURE)
+        assert result.returncode == 1
+        assert f"{FIXTURE}:9:" in result.stdout
+
+
+class TestCleanRuns:
+    def test_clean_fixture_exits_zero(self):
+        result = run_lint("tests/analysis/fixtures/rl001_ok.py.txt")
+        assert result.returncode == 0
+        assert "0 findings" in result.stdout
+
+
+class TestUsageErrors:
+    def test_missing_path_exits_two(self):
+        result = run_lint("does/not/exist.py")
+        assert result.returncode == 2
+        assert "no such file" in result.stderr
+
+    def test_directory_with_no_python_exits_two(self):
+        result = run_lint("tests/analysis/golden")
+        assert result.returncode == 2
+
+    def test_list_rules(self):
+        result = run_lint("--list-rules")
+        assert result.returncode == 0
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+            assert rule_id in result.stdout

@@ -1,0 +1,102 @@
+"""Framework mechanics: module inference, registry, findings, parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    Rule,
+    infer_module,
+    lint_source,
+    register,
+)
+from repro.analysis.core import REGISTRY, SYNTAX_ERROR_ID
+from repro.analysis.reporting import (
+    render_github,
+    render_json,
+    render_text,
+)
+
+
+class TestInferModule:
+    @pytest.mark.parametrize(
+        ("path", "module"),
+        [
+            ("src/repro/hv/ops.py", "repro.hv.ops"),
+            ("src/repro/analysis/__init__.py", "repro.analysis"),
+            ("tests/hv/test_ops.py", "tests.hv.test_ops"),
+            ("benchmarks/bench_serving.py", "benchmarks.bench_serving"),
+            ("examples/quickstart.py", "examples.quickstart"),
+            ("/abs/path/src/repro/serving/app.py", "repro.serving.app"),
+        ],
+    )
+    def test_paths(self, path, module):
+        assert infer_module(path) == module
+
+
+class TestRegistry:
+    def test_register_rejects_missing_id(self):
+        class NoId(Rule):
+            rule_id = ""
+
+        with pytest.raises(ValueError):
+            register(NoId)
+
+    def test_register_rejects_duplicate_id(self):
+        class Dup(Rule):
+            rule_id = "RL001"
+            severity = "error"
+
+        with pytest.raises(ValueError):
+            register(Dup)
+        assert REGISTRY["RL001"] is not Dup
+
+    def test_register_rejects_unknown_severity(self):
+        class BadSev(Rule):
+            rule_id = "RL997"
+            severity = "fatal"
+
+        with pytest.raises(ValueError):
+            register(BadSev)
+        assert "RL997" not in REGISTRY
+
+
+class TestSyntaxError:
+    def test_unparseable_file_is_one_finding(self):
+        findings = lint_source("def broken(:\n", "t.py")
+        assert len(findings) == 1
+        assert findings[0].rule_id == SYNTAX_ERROR_ID
+        assert "does not parse" in findings[0].message
+
+
+class TestRendering:
+    FINDINGS = [
+        Finding(
+            rule_id="RL001",
+            message="message with % and\nnewline",
+            path="src/x.py",
+            line=3,
+            col=4,
+        )
+    ]
+
+    def test_text(self):
+        out = render_text(self.FINDINGS, files_checked=2)
+        assert "src/x.py:3:4: RL001" in out
+        assert "1 finding in 2 files" in out
+
+    def test_json_is_stable_and_parseable(self):
+        import json
+
+        payload = json.loads(render_json(self.FINDINGS, files_checked=2))
+        assert payload["schema"] == 1
+        assert payload["files_checked"] == 2
+        assert payload["findings"][0]["rule"] == "RL001"
+
+    def test_github_escapes_workflow_data(self):
+        out = render_github(self.FINDINGS, files_checked=2)
+        line = out.splitlines()[0]
+        assert line.startswith("::error file=src/x.py,line=3,col=5,")
+        assert "%25" in line and "%0A" in line
+        assert "\n" not in line

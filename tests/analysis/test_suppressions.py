@@ -1,0 +1,112 @@
+"""Suppression directives: matching, hygiene findings, module override."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import SUPPRESSION_HYGIENE_ID, lint_file, lint_source
+from repro.analysis.suppressions import (
+    parse_directives,
+    parse_module_override,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def rule_ids(findings) -> list[str]:
+    return [f.rule_id for f in findings]
+
+
+class TestSuppression:
+    def test_justified_suppression_silences_the_finding(self):
+        assert lint_file(FIXTURES / "suppressed_ok.py.txt") == []
+
+    def test_unused_suppression_is_a_finding(self):
+        findings = lint_file(FIXTURES / "suppression_hygiene_bad.py.txt")
+        ids = rule_ids(findings)
+        assert ids.count(SUPPRESSION_HYGIENE_ID) == 2
+        messages = " | ".join(f.message for f in findings)
+        assert "unused suppression" in messages
+        assert "no justification" in messages
+
+    def test_suppression_only_covers_its_own_line(self):
+        src = (
+            "import numpy as np\n"
+            "a = np.random.rand(1)  # reprolint: disable=RL001 -- line one\n"
+            "b = np.random.rand(1)\n"
+        )
+        findings = lint_source(src, "t.py")
+        assert rule_ids(findings) == ["RL001"]
+        assert findings[0].line == 3
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        src = (
+            "import numpy as np\n"
+            "a = np.random.rand(1)  # reprolint: disable=RL002 -- wrong id\n"
+        )
+        ids = rule_ids(lint_source(src, "t.py"))
+        # The RL001 finding survives and the RL002 directive is unused.
+        assert sorted(ids) == [SUPPRESSION_HYGIENE_ID, "RL001"]
+
+    def test_multi_rule_directive(self):
+        src = (
+            "import numpy as np\n"
+            "import time\n"
+            "async def f(p):\n"
+            "    fh = open(p)  "
+            "# reprolint: disable=RL003,RL005 -- fixture: both rules hit\n"
+            "    return fh\n"
+        )
+        assert lint_source(src, "t.py") == []
+
+    def test_rl000_cannot_be_suppressed(self):
+        src = "x = 1  # reprolint: disable=RL000 -- try to hide hygiene\n"
+        ids = rule_ids(lint_source(src, "t.py"))
+        assert SUPPRESSION_HYGIENE_ID in ids
+
+    def test_malformed_directive_is_surfaced(self):
+        src = "x = 1  # reprolint disable=RL001\n"
+        findings = lint_source(src, "t.py")
+        assert rule_ids(findings) == [SUPPRESSION_HYGIENE_ID]
+        assert "malformed" in findings[0].message
+
+    def test_prose_mentioning_reprolint_is_not_malformed(self):
+        # Comments may talk *about* the tool (docs, rationale notes)
+        # without being parsed as broken directives.
+        src = "x = 1  # reprolint's RL004 rule keys on these names\n"
+        assert parse_directives(src) == []
+        assert lint_source(src, "t.py") == []
+
+    def test_directive_inside_string_is_ignored(self):
+        src = 's = "# reprolint: disable=RL001 -- not a comment"\n'
+        assert parse_directives(src) == []
+        assert lint_source(src, "t.py") == []
+
+
+class TestModuleOverride:
+    def test_parse(self):
+        assert (
+            parse_module_override("# reprolint: module=repro.serving.x\n")
+            == "repro.serving.x"
+        )
+        assert parse_module_override("x = 1\n") is None
+
+    def test_override_opts_into_scoped_rules(self):
+        src = (
+            "# reprolint: module=repro.serving.fixture\n"
+            "def f():\n"
+            "    raise ValueError('boundary')\n"
+        )
+        assert rule_ids(lint_source(src, "anywhere/t.py")) == ["RL004"]
+
+    def test_explicit_module_argument_wins(self):
+        src = (
+            "# reprolint: module=repro.serving.fixture\n"
+            "def f():\n"
+            "    raise ValueError('boundary')\n"
+        )
+        assert lint_source(src, "t.py", module="not.scoped") == []
+
+    def test_override_is_not_a_malformed_directive(self):
+        src = "# reprolint: module=repro.hv.packing\nx = 1\n"
+        assert lint_source(src, "t.py") == []

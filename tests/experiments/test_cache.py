@@ -73,7 +73,7 @@ class TestExperimentCacheIntegration:
         assert five.binary and not six.binary
         # Same system, different criterion: panels sweep the same
         # candidate grids.
-        for a, b in zip(five.panels, six.panels):
+        for a, b in zip(five.panels, six.panels, strict=True):
             np.testing.assert_array_equal(a.candidates, b.candidates)
             assert a.metric != b.metric
 
@@ -81,5 +81,5 @@ class TestExperimentCacheIntegration:
         cache = DiskCache(tmp_path / "c")
         cached_run = run_fig5(scale=test_scale, seed=33, cache=cache)
         plain_run = run_fig5(scale=test_scale, seed=33)
-        for a, b in zip(cached_run.panels, plain_run.panels):
+        for a, b in zip(cached_run.panels, plain_run.panels, strict=True):
             np.testing.assert_array_equal(a.scores, b.scores)

@@ -39,7 +39,7 @@ class TestInferenceCycles:
     def test_monotone_in_layers(self):
         cycles = [inference_cycles(784, 10_000, 10, l) for l in range(5)]
         assert cycles[0] == cycles[1]
-        assert all(b > a for a, b in zip(cycles[1:], cycles[2:]))
+        assert all(b > a for a, b in zip(cycles[1:], cycles[2:], strict=False))
 
 
 class TestRelativeInferenceTime:

@@ -27,7 +27,7 @@ class TestMajorityAdvantage:
 
     def test_monotone_decreasing(self):
         values = [majority_advantage(k) for k in range(2, 100)]
-        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:], strict=False))
 
     def test_asymptotic_rate(self):
         for k in (1001, 10_001):

@@ -165,7 +165,7 @@ class TestTrainedStateRoundTrip:
 
     def test_untrained_export_raises(self, encoder):
         with pytest.raises(ConfigurationError):
-            HDClassifier(encoder, C).class_accumulators
+            _ = HDClassifier(encoder, C).class_accumulators
 
     def test_wrong_shape_refused(self, encoder):
         model = HDClassifier(encoder, C)

@@ -16,6 +16,7 @@ import asyncio
 import numpy as np
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.serving.batcher import BatcherClosed, MicroBatcher
 from repro.serving.registry import load_tenant
 
@@ -220,7 +221,9 @@ class TestBitParity:
 
 class TestConfig:
     def test_bad_parameters_rejected(self):
-        with pytest.raises(ValueError):
+        # The taxonomy type (not a bare ValueError) so the adapter's
+        # status mapping covers construction errors too (RL004).
+        with pytest.raises(ConfigurationError):
             MicroBatcher(RecordingRunner(), max_batch=0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             MicroBatcher(RecordingRunner(), max_wait_s=-1.0)

@@ -56,7 +56,7 @@ class TestPackedHex:
         packed = rng.integers(0, 2**63, size=(4, 3), dtype=np.uint64)
         texts = packed_rows_to_hex(packed)
         assert len(texts) == 4
-        for row, text in zip(packed, texts):
+        for row, text in zip(packed, texts, strict=True):
             np.testing.assert_array_equal(hex_to_packed_row(text), row)
 
     def test_hex_is_big_endian_words(self):
