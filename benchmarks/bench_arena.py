@@ -1,0 +1,124 @@
+"""Attack-arena throughput: the full robustness matrix, cold vs warm.
+
+One timed run of the 4x6 attacker-vs-defender matrix
+(:func:`repro.experiments.arena.run_arena`) against an empty disk cache,
+then one against the cache the first run left behind. The delta isolates
+what the per-defender system cache buys (pool + key generation + derived
+feature matrix, built once per matrix *row* and replayed for every
+attacker in it); the warm figure is the steady-state cost of re-scoring
+the matrix, which is what nightly trending should watch.
+
+Results land in ``BENCH_arena.json`` (schema-stable, uploaded by the
+nightly CI perf job next to the other ``BENCH_*.json`` artifacts), so
+arena cost becomes part of the repo's diffable perf trajectory. The
+bench also re-asserts the matrix's headline invariant — the paper's
+``L >= 2`` row holds against every strategy — because a perf number for
+a wrong matrix would be worse than no number.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.arena import ARENA_VOLATILE_FIELDS, run_arena
+from repro.experiments.cache import DiskCache
+from repro.experiments.config import ExperimentScale
+from repro.utils.timer import Timer
+
+ARTIFACT = Path("BENCH_arena.json")
+
+#: Bench schema version — bump on any RESULTS layout change.
+SCHEMA_VERSION = 1
+
+RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_artifact():
+    """Write the collected payload once after the module's benches ran."""
+    yield
+    if RESULTS:
+        ARTIFACT.write_text(json.dumps(RESULTS, indent=2))
+
+
+@pytest.fixture(scope="module")
+def arena_scale(quick) -> ExperimentScale:
+    """Reduced matrix width in ``--quick`` smoke mode."""
+    dim = 512 if quick else 2048
+    return ExperimentScale(
+        name="bench-arena",
+        dim=dim,
+        sample_scale=0.05,
+        retrain_epochs=1,
+        sweep_max_wrong=20,
+        fig8_dim=dim,
+        fig8_sample_scale=0.04,
+    )
+
+
+def _stable(cell) -> dict:
+    return {
+        k: v
+        for k, v in cell.to_dict().items()
+        if k not in ARENA_VOLATILE_FIELDS
+    }
+
+
+def _matrix_run(scale, cache):
+    with Timer() as timer:
+        result = run_arena(scale=scale, cache=cache)
+    return result, timer.elapsed
+
+
+def test_arena_matrix_cold_vs_warm(benchmark, quick, tmp_path, arena_scale):
+    cache = DiskCache(tmp_path / "cache")
+    cold_result, cold_seconds = _matrix_run(arena_scale, cache)
+    warm = benchmark.pedantic(
+        lambda: _matrix_run(arena_scale, cache), rounds=1, iterations=1
+    )
+    if warm is None:  # --quick disables pytest-benchmark
+        warm = _matrix_run(arena_scale, cache)
+    warm_result, warm_seconds = warm
+
+    cells = cold_result.cells
+    n_cells = len(cells)
+    assert n_cells == 24  # 4 attackers x 6 defenders
+    # cache replay must be invisible in the results
+    assert [_stable(c) for c in warm_result.cells] == [
+        _stable(c) for c in cells
+    ]
+    # the paper's L >= 2 row holds against every strategy
+    assert all(
+        c.features_recovered == 0 for c in cells if c.defender == "baseline-l2"
+    )
+
+    speedup = cold_seconds / max(warm_seconds, 1e-9)
+    print()
+    print(
+        f"arena matrix ({n_cells} cells, D={cells[0].dim}): "
+        f"cold {cold_seconds:.2f}s, warm {warm_seconds:.2f}s "
+        f"({n_cells / max(warm_seconds, 1e-9):.1f} cells/s warm, "
+        f"cache speedup {speedup:.2f}x)"
+    )
+    broken = sum(
+        1 for c in cells if c.features_recovered == c.features_attacked
+    )
+    RESULTS.update(
+        {
+            "schema": SCHEMA_VERSION,
+            "bench": "arena",
+            "quick": quick,
+            "dim": int(cells[0].dim),
+            "cells": n_cells,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "warm_cells_per_second": n_cells / max(warm_seconds, 1e-9),
+            "cache_speedup": speedup,
+            "cells_broken": broken,
+            "cells_locked_out": sum(1 for c in cells if c.locked_out),
+        }
+    )
+    benchmark.extra_info.update(RESULTS)

@@ -9,6 +9,7 @@ from repro.analysis.rules import (  # noqa: F401  (imported for side effects)
     async_safety,
     determinism,
     error_taxonomy,
+    growth,
     packed,
     resources,
 )

@@ -1,0 +1,237 @@
+"""RL006 — long-lived serving containers must be bounded or drained.
+
+The serving process is the one part of this repo that runs indefinitely:
+a queue or list on a long-lived object that only ever grows is a slow
+memory leak that surfaces as an OOM kill days into a deployment, long
+after the commit that introduced it. The micro-batcher got this right —
+``MicroBatcher._pending`` is swap-drained every flush — and this rule
+makes that discipline checkable.
+
+Scoped to ``repro.serving``. A *candidate* is an instance attribute
+initialized in ``__init__`` to an unbounded container: a ``[]``/``{}``/
+``set()`` literal, ``list()``/``dict()``/``set()``, a
+``collections.deque()`` without ``maxlen``, or a ``queue.Queue()``/
+``asyncio.Queue()`` without ``maxsize``. Every *growth site* on a
+candidate — ``.append``/``.appendleft``/``.extend``/``.add``/``.put``/
+``.put_nowait`` or ``+=`` — is flagged unless the class shows any
+custody of the container's size:
+
+* the attribute is **reassigned** outside ``__init__`` (including the
+  swap-drain idiom ``work, self._pending = self._pending, []``);
+* a **drain method** is reachable on it — ``.pop``/``.popleft``/
+  ``.popitem``/``.get``/``.get_nowait``/``.clear``/``.remove``/
+  ``.discard`` — whether called directly or handed off as a bare method
+  reference (the ASGI bridges pass ``self._queue.get`` as the receive
+  callable);
+* its ``len()`` is taken inside a comparison (an explicit bound check).
+
+Construction-time growth that is bounded by the program text itself
+(e.g. a route table appended to only during app wiring) is a legitimate
+exception — suppress it inline with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule, register
+from repro.analysis.rules.common import ImportMap, call_path
+
+#: Calls that build an unbounded container (literals handled separately).
+_UNBOUNDED_CALLS = frozenset({"list", "dict", "set", "collections.deque"})
+
+#: Queue constructors: unbounded unless a maxsize is given.
+_QUEUE_CALLS = frozenset({"queue.Queue", "asyncio.Queue", "queue.SimpleQueue"})
+
+#: Methods that grow a container.
+_GROWTH_METHODS = frozenset(
+    {"append", "appendleft", "extend", "add", "put", "put_nowait"}
+)
+
+#: Methods that remove elements — evidence the class manages the size.
+_DRAIN_METHODS = frozenset(
+    {"pop", "popleft", "popitem", "get", "get_nowait", "clear", "remove",
+     "discard"}
+)
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """The ``X`` of a ``self.X`` expression, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+@register
+class UnboundedGrowthRule(Rule):
+    rule_id = "RL006"
+    title = "unbounded growth"
+    severity = "error"
+    rationale = (
+        "A list/queue on a long-lived serving object that is appended to "
+        "but never drained, re-assigned, bounded (deque maxlen, Queue "
+        "maxsize) or length-checked grows without limit — a slow memory "
+        "leak that kills the serving process days into a deployment. "
+        "Drain it like MicroBatcher._pending (swap-drain per flush) or "
+        "bound it at construction."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_package("repro.serving"):
+            return
+        imports = ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, imports, node)
+
+    def _check_class(
+        self, ctx: ModuleContext, imports: ImportMap, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        init = next(
+            (
+                stmt
+                for stmt in cls.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            return
+        candidates = self._unbounded_attributes(imports, init)
+        if not candidates:
+            return
+        managed = self._managed_attributes(cls, init, candidates)
+        for attr, site, how in self._growth_sites(cls, init, candidates):
+            if attr in managed:
+                continue
+            yield self.finding(
+                ctx,
+                site,
+                f"self.{attr} is an unbounded container that only grows "
+                f"({how}); on a long-lived serving object this is a "
+                f"memory leak — drain it, re-assign it, bound it, or "
+                f"check its length",
+            )
+
+    def _unbounded_attributes(
+        self, imports: ImportMap, init: ast.AST
+    ) -> set[str]:
+        """``self.X`` attributes initialized to unbounded containers."""
+        candidates: set[str] = set()
+        for node in ast.walk(init):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            if not self._is_unbounded_container(imports, value):
+                continue
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    candidates.add(attr)
+        return candidates
+
+    def _is_unbounded_container(
+        self, imports: ImportMap, value: ast.expr
+    ) -> bool:
+        if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if not isinstance(value, ast.Call):
+            return False
+        path = call_path(imports, value)
+        if path in _UNBOUNDED_CALLS:
+            if path == "collections.deque":
+                return not self._has_bound(value, "maxlen", position=1)
+            return True
+        if path in _QUEUE_CALLS:
+            return not self._has_bound(value, "maxsize", position=0)
+        return False
+
+    @staticmethod
+    def _has_bound(call: ast.Call, keyword: str, position: int) -> bool:
+        if len(call.args) > position:
+            return True
+        return any(kw.arg == keyword for kw in call.keywords)
+
+    def _growth_sites(
+        self, cls: ast.ClassDef, init: ast.AST, candidates: set[str]
+    ) -> Iterator[tuple[str, ast.AST, str]]:
+        """(attribute, node, description) per growth call outside init."""
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method is init:
+                continue
+            for node in ast.walk(method):
+                if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    if node.func.attr not in _GROWTH_METHODS:
+                        continue
+                    attr = _self_attr(node.func.value)
+                    if attr in candidates:
+                        yield attr, node, f".{node.func.attr}() in {method.name}"
+                elif isinstance(node, ast.AugAssign):
+                    attr = _self_attr(node.target)
+                    if attr in candidates:
+                        yield attr, node, f"augmented assignment in {method.name}"
+
+    def _managed_attributes(
+        self, cls: ast.ClassDef, init: ast.AST, candidates: set[str]
+    ) -> set[str]:
+        """Candidates whose size the class demonstrably manages."""
+        managed: set[str] = set()
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            in_init = method is init
+            for node in ast.walk(method):
+                if isinstance(node, ast.Assign) and not in_init:
+                    # Reassignment resets the container — including the
+                    # swap-drain tuple idiom.
+                    for target in node.targets:
+                        elements = (
+                            target.elts
+                            if isinstance(target, (ast.Tuple, ast.List))
+                            else [target]
+                        )
+                        for element in elements:
+                            attr = _self_attr(element)
+                            if attr in candidates:
+                                managed.add(attr)
+                elif isinstance(node, ast.Attribute):
+                    # A drain method on the attribute, called or passed
+                    # as a bare reference (queue.get handed to a bridge).
+                    if node.attr in _DRAIN_METHODS:
+                        attr = _self_attr(node.value)
+                        if attr in candidates:
+                            managed.add(attr)
+                elif isinstance(node, ast.Compare):
+                    for attr in self._len_compared(node, candidates):
+                        managed.add(attr)
+        return managed
+
+    @staticmethod
+    def _len_compared(
+        compare: ast.Compare, candidates: set[str]
+    ) -> Iterator[str]:
+        for node in ast.walk(compare):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "len"
+                and node.args
+            ):
+                attr = _self_attr(node.args[0])
+                if attr in candidates:
+                    yield attr

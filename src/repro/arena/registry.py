@@ -1,0 +1,114 @@
+"""Attacker and defender registries.
+
+Two small name-keyed registries make the arena pluggable: attacker
+*classes* (instantiated fresh per cell, so strategies never leak state
+across cells) and defender *specs* (frozen configuration records).
+Registration order is deliberately irrelevant to every arena artifact:
+cell seeds derive from the *names* (see :mod:`repro.experiments.arena`),
+and the default rosters are explicit tuples, so a third-party
+registration can never reshuffle existing results.
+
+Registering a custom strategy is the supported extension point::
+
+    from repro.arena import register_attacker
+
+    @register_attacker
+    class MyProber:
+        name = "my-prober"
+
+        def run(self, surface, budget, rng):
+            ...
+
+Duplicate names are a :class:`~repro.errors.ConfigurationError` (except
+for idempotent re-registration of the same object, which keeps module
+reloads harmless).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # circular at runtime: defenders imports this module
+    from repro.arena.defenders import DefenderSpec
+    from repro.attack.protocol import Attacker
+
+__all__ = [
+    "attacker_names",
+    "defender_names",
+    "defender_spec",
+    "make_attacker",
+    "register_attacker",
+    "register_defender",
+]
+
+#: name -> attacker class (or zero-arg factory). Populated at import of
+#: :mod:`repro.arena.attackers` plus any user registrations.
+_ATTACKERS: dict[str, Callable[[], "Attacker"]] = {}
+
+#: name -> defender configuration record.
+_DEFENDERS: dict[str, "DefenderSpec"] = {}
+
+
+def register_attacker(factory: Callable[[], "Attacker"]) -> Callable[[], "Attacker"]:
+    """Register an attacker class/factory under its ``name`` attribute.
+
+    Usable as a class decorator. The factory must be callable with no
+    arguments and produce objects satisfying
+    :class:`repro.attack.protocol.Attacker`.
+    """
+    name = getattr(factory, "name", "")
+    if not isinstance(name, str) or not name:
+        raise ConfigurationError(
+            f"attacker {factory!r} needs a non-empty string 'name' attribute"
+        )
+    existing = _ATTACKERS.get(name)
+    if existing is not None and existing is not factory:
+        raise ConfigurationError(
+            f"duplicate attacker name {name!r}: {existing!r} vs {factory!r}"
+        )
+    _ATTACKERS[name] = factory
+    return factory
+
+
+def make_attacker(name: str) -> "Attacker":
+    """Instantiate a fresh attacker by registered name."""
+    try:
+        factory = _ATTACKERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown attacker {name!r}; registered: {sorted(_ATTACKERS)}"
+        ) from None
+    return factory()
+
+
+def attacker_names() -> tuple[str, ...]:
+    """All registered attacker names, in registration order."""
+    return tuple(_ATTACKERS)
+
+
+def register_defender(spec: "DefenderSpec") -> "DefenderSpec":
+    """Register a defender configuration under ``spec.name``."""
+    existing = _DEFENDERS.get(spec.name)
+    if existing is not None and existing != spec:
+        raise ConfigurationError(
+            f"duplicate defender name {spec.name!r}: {existing!r} vs {spec!r}"
+        )
+    _DEFENDERS[spec.name] = spec
+    return spec
+
+
+def defender_spec(name: str) -> "DefenderSpec":
+    """Look up a registered defender configuration."""
+    try:
+        return _DEFENDERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown defender {name!r}; registered: {sorted(_DEFENDERS)}"
+        ) from None
+
+
+def defender_names() -> tuple[str, ...]:
+    """All registered defender names, in registration order."""
+    return tuple(_DEFENDERS)

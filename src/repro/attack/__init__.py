@@ -1,10 +1,14 @@
-"""The reasoning (model-extraction) attack of paper Sec. 3 and the
-HDLock guess criterion of Sec. 4.2."""
+"""The reasoning (model-extraction) attack of paper Sec. 3, the HDLock
+guess criterion of Sec. 4.2, and the :class:`~repro.attack.protocol.Attacker`
+protocol the attack arena (:mod:`repro.arena`) builds on."""
 
 from repro.attack.adaptive import (
+    ACCEPT_THRESHOLD,
     SingleLayerAttackResult,
     attack_single_layer,
+    best_single_layer_guess,
     extrapolate_multi_layer_seconds,
+    score_rotations,
 )
 from repro.attack.bruteforce import (
     MAX_BRUTEFORCE_FEATURES,
@@ -23,6 +27,8 @@ from repro.attack.complexity import (
     security_improvement,
 )
 from repro.attack.countermeasures import (
+    GuardedOracle,
+    OracleLockoutError,
     QueryAssessment,
     QueryMonitor,
     attack_query_stream,
@@ -48,6 +54,12 @@ from repro.attack.pipeline import (
     run_reasoning_attack,
     verify_mapping,
 )
+from repro.attack.protocol import (
+    AttackBudget,
+    AttackOutcome,
+    Attacker,
+    FeatureGuess,
+)
 from repro.attack.reconstruct import TheftReport, evaluate_theft, reconstruct_encoder
 from repro.attack.threat_model import (
     AttackSurface,
@@ -64,11 +76,20 @@ from repro.attack.value_extraction import (
 )
 
 __all__ = [
+    "ACCEPT_THRESHOLD",
     "SingleLayerAttackResult",
     "attack_single_layer",
+    "best_single_layer_guess",
+    "score_rotations",
     "extrapolate_multi_layer_seconds",
+    "AttackBudget",
+    "AttackOutcome",
+    "Attacker",
+    "FeatureGuess",
     "QueryMonitor",
     "QueryAssessment",
+    "GuardedOracle",
+    "OracleLockoutError",
     "attack_query_stream",
     "AttackSurface",
     "GroundTruth",

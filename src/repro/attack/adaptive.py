@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.attack.hdlock_attack import observe_difference
+from repro.attack.hdlock_attack import DifferenceObservation, observe_difference
 from repro.attack.threat_model import LockedSurface
 from repro.errors import AttackError, ConfigurationError
 from repro.memory.key import LockKey, SubKey
@@ -49,55 +49,93 @@ class SingleLayerAttackResult:
         return self.seconds / max(self.guesses, 1)
 
 
-def _best_single_layer_guess(
+def score_rotations(
     surface: LockedSurface,
-    feature: int,
-) -> tuple[SubKey, float, int]:
-    """Sweep all (index, rotation) pairs for one feature's subkey.
+    observation: DifferenceObservation,
+    index: int,
+    rotations: np.ndarray | None = None,
+) -> np.ndarray:
+    """Score single-layer guesses ``(index, r)`` for every rotation ``r``.
 
-    Scores every pair on the difference support; returns the best guess,
-    its score, and the number of guesses evaluated. Vectorized over
-    rotations: for base ``p``, all ``D`` rotations restricted to the
-    support are a single ``(D, |I|)`` gather.
+    One ``(R, |I|)`` gather scores all requested rotations of base row
+    ``index`` on the observation support at once. Scores are uniformly
+    *lower is better*: normalized Hamming distance on binary surfaces,
+    ``1 - cosine`` on non-binary ones — so arena strategies compare and
+    threshold them without branching on the oracle flavor.
     """
-    observation = observe_difference(surface, feature)
     support = observation.support
     dim = surface.dim
+    rots = np.arange(dim) if rotations is None else np.asarray(rotations)
     v_delta = (
         surface.value_matrix[0].astype(np.int64)
         - surface.value_matrix[-1].astype(np.int64)
     )[support]
+    gather = (support[None, :] + rots[:, None]) % dim
+    candidates = surface.base_pool[index][gather].astype(np.int64)
+    predicted = v_delta[None, :] * candidates
     if surface.binary:
-        target = observation.target
-    else:
-        target_vec = observation.target.astype(np.float64)
-        target_norm = float(np.linalg.norm(target_vec))
-        if target_norm == 0.0:
-            raise AttackError("difference observation carries no signal")
+        return (
+            np.count_nonzero(
+                np.sign(predicted) != observation.target[None, :], axis=1
+            )
+            / support.size
+        )
+    target_vec = observation.target.astype(np.float64)
+    target_norm = float(np.linalg.norm(target_vec))
+    if target_norm == 0.0:
+        raise AttackError("difference observation carries no signal")
+    norms = np.linalg.norm(predicted.astype(np.float64), axis=1)
+    cosines = (predicted @ target_vec) / (norms * target_norm)
+    return 1.0 - cosines
 
-    rotations = np.arange(dim)
-    gather = (support[None, :] + rotations[:, None]) % dim
+
+def best_single_layer_guess(
+    surface: LockedSurface,
+    feature: int,
+    observation: DifferenceObservation | None = None,
+    max_candidates: int | None = None,
+) -> tuple[SubKey, float, int]:
+    """Sweep all (index, rotation) pairs for one feature's subkey.
+
+    Scores every pair on the difference support; returns the best guess,
+    its (lower-is-better) score, and the number of guesses evaluated.
+    Vectorized over rotations via :func:`score_rotations`. Callers that
+    already hold the feature's observation pass it to avoid spending two
+    more oracle queries; ``max_candidates`` caps the total evaluations by
+    evenly striding the rotation space (a budgeted sweep may then miss
+    the true rotation — the caller's accept threshold decides).
+    """
+    if observation is None:
+        observation = observe_difference(surface, feature)
+    dim = surface.dim
+    rotations = None
+    per_index = dim
+    if max_candidates is not None and max_candidates < dim * surface.pool_size:
+        per_index = max(1, max_candidates // surface.pool_size)
+        stride = dim / per_index
+        rotations = np.unique(
+            (np.arange(per_index) * stride).astype(np.int64)
+        )
+        per_index = int(rotations.size)
 
     best_score = np.inf
     best_pair = (0, 0)
     guesses = 0
     for index in range(surface.pool_size):
-        candidates = surface.base_pool[index][gather].astype(np.int64)
-        predicted = v_delta[None, :] * candidates
-        if surface.binary:
-            scores = np.count_nonzero(
-                np.sign(predicted) != target[None, :], axis=1
-            ) / support.size
-        else:
-            norms = np.linalg.norm(predicted.astype(np.float64), axis=1)
-            cosines = (predicted @ target_vec) / (norms * target_norm)
-            scores = 1.0 - cosines
-        guesses += dim
+        scores = score_rotations(surface, observation, index, rotations)
+        guesses += per_index
         local_best = int(np.argmin(scores))
         if scores[local_best] < best_score:
             best_score = float(scores[local_best])
-            best_pair = (index, local_best)
+            rotation = (
+                local_best if rotations is None else int(rotations[local_best])
+            )
+            best_pair = (index, rotation)
     return SubKey((best_pair[0],), (best_pair[1],)), best_score, guesses
+
+
+#: Backwards-compatible alias of the pre-arena private name.
+_best_single_layer_guess = best_single_layer_guess
 
 
 def attack_single_layer(surface: LockedSurface) -> SingleLayerAttackResult:
@@ -112,7 +150,7 @@ def attack_single_layer(surface: LockedSurface) -> SingleLayerAttackResult:
         scores = np.empty(surface.n_features)
         guesses = 0
         for feature in range(surface.n_features):
-            subkey, score, spent = _best_single_layer_guess(surface, feature)
+            subkey, score, spent = best_single_layer_guess(surface, feature)
             if score > ACCEPT_THRESHOLD:
                 raise AttackError(
                     f"no single-layer key explains feature {feature} "

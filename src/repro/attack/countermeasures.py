@@ -29,7 +29,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.encoding.base import Encoder
+from repro.encoding.oracle import EncodingOracle
+from repro.errors import AttackError, ConfigurationError
+
+
+class OracleLockoutError(AttackError):
+    """The deployment's query monitor tripped and cut oracle access.
+
+    Raised *to the attacker* by :class:`GuardedOracle` — from the attack
+    code's perspective this is a failed attack (hence the
+    :class:`~repro.errors.AttackError` base), from the defender's it is
+    the countermeasure working as designed.
+    """
 
 
 @dataclass(frozen=True)
@@ -120,6 +132,78 @@ class QueryMonitor:
     def suspicious_rate(self) -> float:
         """Lifetime fraction of suspicious queries."""
         return self.suspicious_total / self.seen if self.seen else 0.0
+
+
+class GuardedOracle(EncodingOracle):
+    """An encoding oracle fronted by a :class:`QueryMonitor`.
+
+    Every query is scored *before* it is served. Once the monitor
+    alerts, the triggering query and every later one raise
+    :class:`OracleLockoutError` instead of returning an encoding —
+    the deployed-device policy of refusing service to an identified
+    prober. Refused queries do not count toward ``n_queries`` (nothing
+    was served), but the monitor still sees them (``monitor.seen``), so
+    the defender-side telemetry stays complete.
+
+    This is the enforcement half the PR-8-era monitor lacked: the arena
+    wires it in as a defender configuration knob, composing detection
+    with HDLock's search-space hardness rather than replacing it.
+    """
+
+    def __init__(
+        self,
+        encoder: Encoder,
+        monitor: QueryMonitor,
+        binary: bool = True,
+    ) -> None:
+        super().__init__(encoder, binary=binary)
+        self.monitor = monitor
+
+    def _gate(self, sample: np.ndarray) -> None:
+        if self.monitor.alerted:
+            raise OracleLockoutError(
+                "oracle access revoked: query monitor already alerted"
+            )
+        assessment = self.monitor.observe(sample)
+        if assessment.alert:
+            raise OracleLockoutError(
+                "oracle access revoked: attack-shaped query stream "
+                f"({self.monitor.suspicious_total} suspicious of "
+                f"{self.monitor.seen} queries)"
+            )
+
+    def query(self, sample: np.ndarray) -> np.ndarray:
+        """Serve one query unless the monitor (now) objects."""
+        self._gate(np.asarray(sample))
+        return super().query(sample)
+
+    def query_batch(
+        self,
+        samples: np.ndarray,
+        chunk_size: int | None = None,
+        memory_budget: int | None = None,
+    ) -> np.ndarray:
+        """Serve a batch; the whole batch is refused if any row trips."""
+        arr = np.asarray(samples)
+        for row in arr:
+            self._gate(row)
+        return super().query_batch(
+            arr, chunk_size=chunk_size, memory_budget=memory_budget
+        )
+
+    def query_batch_packed(
+        self,
+        samples: np.ndarray,
+        chunk_size: int | None = None,
+        memory_budget: int | None = None,
+    ) -> np.ndarray:
+        """Packed variant of :meth:`query_batch`, same gating policy."""
+        arr = np.asarray(samples)
+        for row in arr:
+            self._gate(row)
+        return super().query_batch_packed(
+            arr, chunk_size=chunk_size, memory_budget=memory_budget
+        )
 
 
 def attack_query_stream(

@@ -15,6 +15,11 @@ from repro.encoding.engine import (
 from repro.encoding.locked import LockedEncoder
 from repro.encoding.ngram import NGramEncoder
 from repro.encoding.oracle import EncodingOracle
+from repro.encoding.privacy import (
+    QuantizedLockedEncoder,
+    SparsifiedLockedEncoder,
+    TransmissionLockedEncoder,
+)
 from repro.encoding.record import RecordEncoder
 
 __all__ = [
@@ -22,6 +27,9 @@ __all__ = [
     "RecordEncoder",
     "LockedEncoder",
     "NGramEncoder",
+    "TransmissionLockedEncoder",
+    "QuantizedLockedEncoder",
+    "SparsifiedLockedEncoder",
     "EncodingOracle",
     "EncodingPlan",
     "DEFAULT_MEMORY_BUDGET",

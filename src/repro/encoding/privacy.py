@@ -1,0 +1,214 @@
+"""Privacy-preserving locked encoders (Prive-HD-style transmission).
+
+Prive-HD (PAPERS.md) observes that the hypervector a device *transmits*
+need not be the full-precision accumulation: quantizing or sparsifying
+the encoding before it leaves the device both shrinks the payload and
+disturbs exactly the fine-grained structure an inference adversary
+exploits. Here that idea becomes a defender axis for the attack arena:
+the subclasses below post-process the Eq. 2 accumulation ``H_nb``
+*before* binarization, so every zeroed coordinate binarizes through the
+randomized ``sign(0)`` tie-break — pure per-query noise from the
+attacker's point of view, which degrades the Eq. 11 difference criterion
+without touching the key, the pool, or trained class hypervectors'
+compatibility (the transform is applied consistently at train and
+serve time since it lives in the encoder).
+
+Both transforms are scale-free for every downstream consumer in this
+repo: binary outputs only keep the sign, and the non-binary cosine
+criterion is invariant to per-row positive scaling, so the quantizer
+returns unscaled integer bucket indices rather than reconstructed
+magnitudes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.encoding.engine import binarize_batch
+from repro.encoding.locked import LockedEncoder
+from repro.errors import ConfigurationError, DimensionMismatchError
+from repro.hv.packing import pack_words
+from repro.memory.item_memory import LevelMemory
+from repro.memory.key import LockKey
+from repro.utils.rng import SeedLike
+
+__all__ = [
+    "QuantizedLockedEncoder",
+    "SparsifiedLockedEncoder",
+    "TransmissionLockedEncoder",
+]
+
+
+class TransmissionLockedEncoder(LockedEncoder):
+    """Locked encoder that transforms accumulations before transmission.
+
+    Subclasses implement :meth:`_transform_rows` over a ``(B, D)`` batch
+    of integer accumulations. Every encode path — single, batch, packed —
+    routes through the transform, so the attacker-facing oracle and the
+    owner-side training loop observe the same privatized encodings.
+
+    The fused packed kernel binarizes raw accumulations in-place, so the
+    packed paths here take the dense detour (transform, binarize, pack);
+    privacy variants trade that hot-path fusion for the transmission
+    defense by construction.
+    """
+
+    def _transform_rows(self, accums: np.ndarray) -> np.ndarray:
+        """Map raw ``(B, D)`` accumulations to transmitted values."""
+        raise NotImplementedError
+
+    def encode_nonbinary(self, sample: np.ndarray) -> np.ndarray:
+        """One sample's transmitted (privatized) accumulation."""
+        accum = super().encode_nonbinary(sample)
+        return self._transform_rows(accum[None, :])[0]
+
+    def encode_batch(
+        self,
+        samples: np.ndarray,
+        binary: bool = True,
+        chunk_size: int | None = None,
+        memory_budget: int | None = None,
+    ) -> np.ndarray:
+        """Batch encode with the transmission transform applied."""
+        arr = self._check_sample(samples)
+        if arr.ndim != 2:
+            raise DimensionMismatchError(
+                f"encode_batch takes a (B, N) matrix, got shape {arr.shape}"
+            )
+        accums = self._transform_rows(
+            self.plan.accumulate(arr, chunk_size, memory_budget)
+        )
+        if not binary:
+            return accums
+        return binarize_batch(accums, self._tie_rng)
+
+    def encode_batch_packed(
+        self,
+        samples: np.ndarray,
+        chunk_size: int | None = None,
+        memory_budget: int | None = None,
+    ) -> np.ndarray:
+        """Packed batch path: dense privatized signs, packed at the end."""
+        dense = self.encode_batch(
+            samples,
+            binary=True,
+            chunk_size=chunk_size,
+            memory_budget=memory_budget,
+        )
+        return pack_words(dense)
+
+    def encode_packed(self, sample: np.ndarray) -> np.ndarray:
+        """Packed single-sample path through the transform."""
+        arr = self._check_sample(sample)
+        if arr.ndim != 1:
+            raise DimensionMismatchError(
+                f"encode_packed takes one (N,) sample, got shape {arr.shape}"
+            )
+        return self.encode_batch_packed(arr[None, :])[0]
+
+
+class QuantizedLockedEncoder(TransmissionLockedEncoder):
+    """Locked encoder transmitting coarsely quantized accumulations.
+
+    The accumulation of ``N`` independent ±1 products is approximately
+    ``N(0, N)`` per coordinate; the quantizer buckets it into
+    ``quant_levels`` symmetric integer levels spanning
+    ``±clip_sigmas * sqrt(N)``. With the default 3 levels everything
+    inside ±1.5σ collapses to 0 — the majority of coordinates — and each
+    of those binarizes through a fresh ``sign(0)`` tie-break, burying
+    the attacker's difference criterion in per-query noise.
+    """
+
+    def __init__(
+        self,
+        base_pool: np.ndarray,
+        level_memory: LevelMemory,
+        key: LockKey,
+        rng: SeedLike = None,
+        quant_levels: int = 3,
+        clip_sigmas: float = 3.0,
+    ) -> None:
+        if quant_levels < 3 or quant_levels % 2 == 0:
+            raise ConfigurationError(
+                "quant_levels must be an odd integer >= 3 (a symmetric "
+                f"grid including zero), got {quant_levels}"
+            )
+        if clip_sigmas <= 0:
+            raise ConfigurationError(
+                f"clip_sigmas must be positive, got {clip_sigmas}"
+            )
+        super().__init__(base_pool, level_memory, key, rng)
+        self.quant_levels = int(quant_levels)
+        self.clip_sigmas = float(clip_sigmas)
+
+    def _transform_rows(self, accums: np.ndarray) -> np.ndarray:
+        half = (self.quant_levels - 1) // 2
+        step = self.clip_sigmas * math.sqrt(self.n_features) / half
+        buckets = np.rint(np.asarray(accums, dtype=np.float64) / step)
+        return np.clip(buckets, -half, half).astype(np.int64)
+
+    def rekey(
+        self, key: LockKey, rng: SeedLike = None
+    ) -> "QuantizedLockedEncoder":
+        """Re-key, preserving the quantization parameters."""
+        return QuantizedLockedEncoder(
+            self.base_pool,
+            self.level_memory,
+            key,
+            rng,
+            quant_levels=self.quant_levels,
+            clip_sigmas=self.clip_sigmas,
+        )
+
+
+class SparsifiedLockedEncoder(TransmissionLockedEncoder):
+    """Locked encoder transmitting only the top-magnitude coordinates.
+
+    Per row, the ``keep_fraction`` largest-``|H|`` coordinates survive
+    unchanged and the rest transmit as zero — Prive-HD's sparsification.
+    The surviving coordinates are exactly the high-confidence ones, so
+    classification accuracy degrades gently while the attacker's support
+    fills with tie-break noise.
+    """
+
+    def __init__(
+        self,
+        base_pool: np.ndarray,
+        level_memory: LevelMemory,
+        key: LockKey,
+        rng: SeedLike = None,
+        keep_fraction: float = 0.05,
+    ) -> None:
+        if not 0.0 < keep_fraction <= 1.0:
+            raise ConfigurationError(
+                f"keep_fraction must be in (0, 1], got {keep_fraction}"
+            )
+        super().__init__(base_pool, level_memory, key, rng)
+        self.keep_fraction = float(keep_fraction)
+
+    def _transform_rows(self, accums: np.ndarray) -> np.ndarray:
+        rows = np.asarray(accums, dtype=np.int64)
+        dim = rows.shape[1]
+        keep = max(1, int(round(self.keep_fraction * dim)))
+        if keep >= dim:
+            return rows
+        out = np.zeros_like(rows)
+        # argpartition breaks magnitude ties by position — deterministic,
+        # no RNG involved, so the transform itself is a pure function.
+        top = np.argpartition(np.abs(rows), dim - keep, axis=1)[:, dim - keep :]
+        np.put_along_axis(out, top, np.take_along_axis(rows, top, axis=1), axis=1)
+        return out
+
+    def rekey(
+        self, key: LockKey, rng: SeedLike = None
+    ) -> "SparsifiedLockedEncoder":
+        """Re-key, preserving the sparsification parameter."""
+        return SparsifiedLockedEncoder(
+            self.base_pool,
+            self.level_memory,
+            key,
+            rng,
+            keep_fraction=self.keep_fraction,
+        )

@@ -1,0 +1,158 @@
+"""CSV projections of experiment artifacts (``--format csv``).
+
+Every experiment's canonical artifact is JSON (see
+:mod:`repro.experiments.records`); this module derives a flat, analysis-
+friendly CSV view from the *artifact payload* — never from live result
+objects — so the projection works identically for freshly computed
+records and for artifacts reloaded from disk, and adding it cannot
+perturb any numeric result.
+
+Experiments whose payload is already tabular (``table1`` rows, ``fig8``
+and ``arena`` cells, the ``sweeps`` point lists) project to one CSV row
+per record. Series experiments (``fig3``, ``fig5``/``fig6``) project to
+long format, one row per point. Everything else falls back to a generic
+``path,value`` flattening of the payload tree, so ``--format csv`` never
+refuses an experiment.
+
+Output discipline: ``\\n`` line terminator and stringification via
+:func:`_text` (booleans as ``true``/``false``, floats via ``repr``) keep
+the bytes deterministic across platforms and runs — the same contract as
+:func:`repro.experiments.records.canonical_json`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Callable, Mapping, Sequence
+
+__all__ = ["csv_rows", "render_csv"]
+
+
+def _text(value: Any) -> str:
+    """Deterministic scalar stringification for CSV fields."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _dict_rows(
+    records: Sequence[Mapping[str, Any]],
+) -> tuple[list[str], list[list[str]]]:
+    """Rows-of-dicts to (headers, rows): first-seen key order, union."""
+    headers: list[str] = []
+    for record in records:
+        for key in record:
+            if key not in headers:
+                headers.append(key)
+    rows = [
+        [_text(record[key]) if key in record else "" for key in headers]
+        for record in records
+    ]
+    return headers, rows
+
+
+def _flatten(prefix: str, node: Any, out: list[tuple[str, Any]]) -> None:
+    """Depth-first ``path,value`` flattening of a JSON payload tree."""
+    if isinstance(node, Mapping):
+        for key, value in node.items():
+            _flatten(f"{prefix}.{key}" if prefix else str(key), value, out)
+    elif isinstance(node, (list, tuple)):
+        for index, value in enumerate(node):
+            _flatten(f"{prefix}[{index}]", value, out)
+    else:
+        out.append((prefix, node))
+
+
+def _generic_rows(data: Mapping[str, Any]) -> tuple[list[str], list[list[str]]]:
+    flat: list[tuple[str, Any]] = []
+    _flatten("", data, flat)
+    return ["path", "value"], [[path, _text(value)] for path, value in flat]
+
+
+def _arena_rows(data: Mapping[str, Any]) -> tuple[list[str], list[list[str]]]:
+    return _dict_rows(data["cells"])
+
+
+def _table1_rows(data: Mapping[str, Any]) -> tuple[list[str], list[list[str]]]:
+    return _dict_rows(data["rows"])
+
+
+def _fig8_rows(data: Mapping[str, Any]) -> tuple[list[str], list[list[str]]]:
+    return _dict_rows(data["cells"])
+
+
+def _fig3_rows(data: Mapping[str, Any]) -> tuple[list[str], list[list[str]]]:
+    correct = int(data["correct_index"])
+    rows = [
+        [str(index), _text(float(distance)), _text(index == correct)]
+        for index, distance in enumerate(data["distances"])
+    ]
+    return ["candidate_index", "distance", "is_correct"], rows
+
+
+def _fig56_rows(data: Mapping[str, Any]) -> tuple[list[str], list[list[str]]]:
+    headers = ["panel", "parameter", "layer", "metric", "candidate", "score"]
+    rows = []
+    for panel_index, panel in enumerate(data["panels"]):
+        for candidate, score in zip(
+            panel["candidates"], panel["scores"], strict=True
+        ):
+            rows.append(
+                [
+                    str(panel_index),
+                    panel["parameter"],
+                    str(panel["layer"]),
+                    panel["metric"],
+                    _text(candidate),
+                    _text(float(score)),
+                ]
+            )
+    return headers, rows
+
+
+def _sweeps_rows(data: Mapping[str, Any]) -> tuple[list[str], list[list[str]]]:
+    records = [
+        {"table": table, **point}
+        for table in ("recovery", "margins")
+        for point in data[table]
+    ]
+    return _dict_rows(records)
+
+
+_PROJECTIONS: dict[
+    str, Callable[[Mapping[str, Any]], tuple[list[str], list[list[str]]]]
+] = {
+    "arena": _arena_rows,
+    "table1": _table1_rows,
+    "fig3": _fig3_rows,
+    "fig5": _fig56_rows,
+    "fig6": _fig56_rows,
+    "fig8": _fig8_rows,
+    "sweeps": _sweeps_rows,
+}
+
+
+def csv_rows(
+    name: str, data: Mapping[str, Any]
+) -> tuple[list[str], list[list[str]]]:
+    """``(headers, rows)`` CSV projection of one experiment payload.
+
+    ``data`` is the artifact payload (the record's ``data`` object);
+    experiments without a dedicated projection get the generic
+    ``path,value`` flattening.
+    """
+    projection = _PROJECTIONS.get(name, _generic_rows)
+    return projection(data)
+
+
+def render_csv(name: str, data: Mapping[str, Any]) -> str:
+    """One experiment payload as a deterministic CSV document."""
+    headers, rows = csv_rows(name, data)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return buffer.getvalue()

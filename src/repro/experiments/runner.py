@@ -28,10 +28,12 @@ Flags:
     the parallelism level; wall clocks are measured inside the worker
     that ran the experiment, keeping reasoning-time numbers honest under
     concurrency.
-``--format text|json``
+``--format text|json|csv``
     ``text`` prints the paper-style tables; ``json`` prints one
     canonical JSON document with every record plus per-experiment
-    timings.
+    timings; ``csv`` prints flat per-experiment CSV projections of the
+    artifact payloads (:mod:`repro.experiments.csvfmt`) and, with
+    ``--out``, writes one ``<name>.csv`` next to each JSON artifact.
 ``--out DIR``
     Write one deterministic JSON artifact per experiment plus a
     ``manifest.json`` with the volatile run metadata (statuses, wall
@@ -69,7 +71,17 @@ from repro.experiments.ablations import (
     AblationsResult,
     run_ablations,
 )
+from repro.experiments.arena import (
+    ARENA_VOLATILE_FIELDS,
+    ArenaResult,
+    arena_shards,
+    combine_arena,
+    render_arena,
+    run_arena,
+    run_arena_shard,
+)
 from repro.experiments.cache import DiskCache
+from repro.experiments.csvfmt import render_csv
 from repro.experiments.config import DEFAULT_SEED, ExperimentScale, active_scale
 from repro.experiments.fig3 import Fig3Result, render_fig3, run_fig3
 from repro.experiments.fig56 import Fig56Result, render_fig56, run_fig5, run_fig6
@@ -286,6 +298,22 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             SweepsResult.to_dict,
             SweepsResult.from_dict,
             SweepsResult.render,
+        ),
+        # The arena is registered LAST on purpose: seed-group positions
+        # are spawn keys, so appending (never inserting) keeps every
+        # earlier experiment's child seed — and artifact bytes — intact.
+        _spec(
+            "arena",
+            lambda scale, seed, cache: run_arena(
+                scale=scale, seed=seed, cache=cache
+            ),
+            ArenaResult.to_dict,
+            ArenaResult.from_dict,
+            render_arena,
+            volatile=ARENA_VOLATILE_FIELDS,
+            shards=arena_shards,
+            run_shard=run_arena_shard,
+            combine=combine_arena,
         ),
     )
 }
@@ -566,9 +594,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "csv"),
         default="text",
-        help="stdout format: paper-style text tables or canonical JSON",
+        help="stdout format: paper-style text tables, canonical JSON, or "
+        "flat CSV projections (see repro.experiments.csvfmt)",
     )
     parser.add_argument(
         "--out",
@@ -642,9 +671,23 @@ def main(argv: list[str] | None = None) -> int:
         else:
             statuses[name] = {"status": "error", "error": errors[name]}
 
+    # CSV consumes artifact *payloads*, identically for fresh records
+    # and artifacts reloaded from a resume skip.
+    payloads: dict[str, dict[str, Any]] = {}
+    if args.format == "csv" or out_dir is not None:
+        for name in names:
+            if name in outcomes:
+                payloads[name] = outcomes[name].record.data
+            elif name in skipped:
+                payloads[name] = load_artifact(skipped[name])["data"]
+
     if out_dir is not None:
         for outcome in outcomes.values():
             outcome.record.write_artifact(out_dir)
+        if args.format == "csv":
+            for name, data in payloads.items():
+                path = out_dir / f"{name}.csv"
+                path.write_text(render_csv(name, data), encoding="utf-8")
         _write_manifest(out_dir, scale, args.seed, args.jobs, statuses)
 
     if args.format == "json":
@@ -666,6 +709,13 @@ def main(argv: list[str] | None = None) -> int:
             ),
             end="",
         )
+    elif args.format == "csv":
+        for name in names:
+            print(f"=== {name} ===")
+            if name in payloads:
+                print(render_csv(name, payloads[name]), end="")
+            else:
+                print(f"[error: {errors[name]}]")
     else:
         print(f"[experiment scale: {scale.name}, D={scale.dim}]")
         for name in names:

@@ -138,7 +138,7 @@ class App:
         self._on_error = on_error
 
     def add_route(self, method: str, template: str, handler: Handler) -> None:
-        self.routes.append(Route(method, template, handler))
+        self.routes.append(Route(method, template, handler))  # reprolint: disable=RL006 -- route table grows only during app wiring (module import / factory), bounded by program text, never per request
 
     def get(self, template: str) -> Callable[[Handler], Handler]:
         def register(handler: Handler) -> Handler:

@@ -45,7 +45,15 @@ class TestSeededViolations:
         result = run_lint(FIXTURE, "--format", "json")
         payload = json.loads(result.stdout)
         ids = [f["rule"] for f in payload["findings"]]
-        assert ids == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL000"]
+        assert ids == [
+            "RL001",
+            "RL002",
+            "RL003",
+            "RL004",
+            "RL005",
+            "RL006",
+            "RL000",
+        ]
         assert payload["files_checked"] == 1
 
     def test_github_format_annotates_each_finding(self):
@@ -56,13 +64,13 @@ class TestSeededViolations:
             for line in result.stdout.splitlines()
             if line.startswith("::error ")
         ]
-        assert len(annotations) == 6
+        assert len(annotations) == 7
         assert f"file={FIXTURE}" in annotations[0]
 
     def test_text_format_and_exit_code(self):
         result = run_lint(FIXTURE)
         assert result.returncode == 1
-        assert f"{FIXTURE}:9:" in result.stdout
+        assert f"{FIXTURE}:10:" in result.stdout
 
 
 class TestCleanRuns:
@@ -85,5 +93,12 @@ class TestUsageErrors:
     def test_list_rules(self):
         result = run_lint("--list-rules")
         assert result.returncode == 0
-        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+        for rule_id in (
+            "RL001",
+            "RL002",
+            "RL003",
+            "RL004",
+            "RL005",
+            "RL006",
+        ):
             assert rule_id in result.stdout

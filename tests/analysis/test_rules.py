@@ -16,9 +16,9 @@ def rule_ids(findings) -> list[str]:
 
 
 class TestRegistry:
-    def test_five_domain_rules_registered(self):
+    def test_six_domain_rules_registered(self):
         ids = [cls.rule_id for cls in all_rules()]
-        assert ids == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+        assert ids == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
 
     def test_every_rule_documents_itself(self):
         for cls in all_rules():
@@ -34,6 +34,7 @@ CASES = {
     "rl003": "RL003",
     "rl004": "RL004",
     "rl005": "RL005",
+    "rl006": "RL006",
 }
 
 
@@ -137,6 +138,61 @@ class TestErrorTaxonomyRule:
             "    except Exception as exc:\n"
             "        log.warning('failed: %s', exc)\n"
             "        return None\n"
+        )
+        assert lint_source(src, "t.py", module="repro.serving.x") == []
+
+
+class TestGrowthRule:
+    def test_out_of_scope_module_not_checked(self):
+        src = (
+            "class Log:\n"
+            "    def __init__(self):\n"
+            "        self._events = []\n"
+            "    def record(self, e):\n"
+            "        self._events.append(e)\n"
+        )
+        assert lint_source(src, "t.py", module="repro.experiments.x") == []
+        assert rule_ids(
+            lint_source(src, "t.py", module="repro.serving.x")
+        ) == ["RL006"]
+
+    def test_swap_drain_is_size_custody(self):
+        src = (
+            "class Batcher:\n"
+            "    def __init__(self):\n"
+            "        self._pending = []\n"
+            "    def enqueue(self, item):\n"
+            "        self._pending.append(item)\n"
+            "    def flush(self):\n"
+            "        window, self._pending = self._pending, []\n"
+            "        return window\n"
+        )
+        assert lint_source(src, "t.py", module="repro.serving.x") == []
+
+    def test_bounded_constructors_are_not_candidates(self):
+        src = (
+            "import asyncio\n"
+            "import collections\n"
+            "class Bounded:\n"
+            "    def __init__(self):\n"
+            "        self._q = asyncio.Queue(maxsize=8)\n"
+            "        self._w = collections.deque(maxlen=8)\n"
+            "    async def feed(self, x):\n"
+            "        self._q.put_nowait(x)\n"
+            "        self._w.append(x)\n"
+        )
+        assert lint_source(src, "t.py", module="repro.serving.x") == []
+
+    def test_bare_get_reference_is_a_drain_path(self):
+        src = (
+            "import asyncio\n"
+            "class Bridge:\n"
+            "    def __init__(self):\n"
+            "        self._inbox = asyncio.Queue()\n"
+            "    async def pump(self, run):\n"
+            "        await run(self._inbox.get)\n"
+            "    async def deliver(self, m):\n"
+            "        await self._inbox.put(m)\n"
         )
         assert lint_source(src, "t.py", module="repro.serving.x") == []
 

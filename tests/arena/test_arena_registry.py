@@ -1,0 +1,132 @@
+"""Registry contracts: naming, duplicates, fresh instantiation."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.arena  # noqa: F401  (populates both registries)
+from repro.arena import registry
+from repro.arena.attackers import BruteForceSweeper
+from repro.arena.defenders import DefenderSpec
+from repro.arena.registry import (
+    attacker_names,
+    defender_names,
+    defender_spec,
+    make_attacker,
+    register_attacker,
+    register_defender,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def scratch_registries(monkeypatch):
+    """Copy-on-write registries so tests can register without leaking."""
+    monkeypatch.setattr(registry, "_ATTACKERS", dict(registry._ATTACKERS))
+    monkeypatch.setattr(registry, "_DEFENDERS", dict(registry._DEFENDERS))
+
+
+class TestBuiltinRosters:
+    def test_default_attackers_are_registered(self):
+        names = attacker_names()
+        for name in (
+            "bruteforce",
+            "adaptive",
+            "differential-prober",
+            "plain-reasoning",
+        ):
+            assert name in names
+
+    def test_default_defenders_are_registered(self):
+        names = defender_names()
+        for name in (
+            "baseline-l2",
+            "shallow-l1",
+            "nonbinary-l1",
+            "monitored-l1",
+            "quantized-l1",
+            "sparsified-l1",
+        ):
+            assert name in names
+
+
+class TestAttackerRegistry:
+    def test_make_attacker_returns_fresh_instances(self):
+        first = make_attacker("bruteforce")
+        second = make_attacker("bruteforce")
+        assert first is not second
+        assert first.name == "bruteforce"
+
+    def test_unknown_attacker(self):
+        with pytest.raises(ConfigurationError, match="unknown attacker"):
+            make_attacker("nonexistent")
+
+    def test_reregistering_same_class_is_idempotent(self):
+        # module reloads re-run the decorators; that must stay harmless
+        assert register_attacker(BruteForceSweeper) is BruteForceSweeper
+
+    def test_duplicate_name_rejected(self, scratch_registries):
+        class Impostor:
+            name = "bruteforce"
+
+            def run(self, surface, budget, rng):  # pragma: no cover
+                raise AssertionError
+
+        with pytest.raises(ConfigurationError, match="duplicate attacker"):
+            register_attacker(Impostor)
+
+    def test_missing_name_rejected(self, scratch_registries):
+        class Anonymous:
+            def run(self, surface, budget, rng):  # pragma: no cover
+                raise AssertionError
+
+        with pytest.raises(ConfigurationError, match="name"):
+            register_attacker(Anonymous)
+
+    def test_custom_registration_round_trips(self, scratch_registries):
+        @register_attacker
+        class Custom:
+            name = "custom-probe"
+
+            def run(self, surface, budget, rng):  # pragma: no cover
+                raise AssertionError
+
+        assert "custom-probe" in attacker_names()
+        assert isinstance(make_attacker("custom-probe"), Custom)
+
+
+class TestDefenderRegistry:
+    def test_lookup_returns_registered_spec(self):
+        spec = defender_spec("baseline-l2")
+        assert spec.name == "baseline-l2"
+        assert spec.layers == 2
+
+    def test_unknown_defender(self):
+        with pytest.raises(ConfigurationError, match="unknown defender"):
+            defender_spec("nonexistent")
+
+    def test_reregistering_equal_spec_is_idempotent(self):
+        spec = defender_spec("shallow-l1")
+        assert register_defender(DefenderSpec("shallow-l1", layers=1)) == spec
+
+    def test_conflicting_spec_rejected(self, scratch_registries):
+        with pytest.raises(ConfigurationError, match="duplicate defender"):
+            register_defender(DefenderSpec("shallow-l1", layers=3))
+
+
+class TestDefenderSpecValidation:
+    def test_empty_name(self):
+        with pytest.raises(ConfigurationError, match="name"):
+            DefenderSpec("")
+
+    def test_bad_layers(self):
+        with pytest.raises(ConfigurationError, match="layers"):
+            DefenderSpec("x", layers=0)
+
+    def test_bad_pool_size(self):
+        with pytest.raises(ConfigurationError, match="pool_size"):
+            DefenderSpec("x", pool_size=1)
+
+    def test_bad_variant(self):
+        with pytest.raises(ConfigurationError, match="variant"):
+            DefenderSpec("x", variant="compressed")

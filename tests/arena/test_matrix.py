@@ -1,0 +1,136 @@
+"""Owner-side judgement and duel robustness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arena.defenders import deploy_defender
+from repro.arena.registry import defender_spec
+from repro.arena.matrix import (
+    CHANCE_DISTANCE,
+    RECOVERY_THRESHOLD,
+    CellEvaluation,
+    duel,
+    evaluate_outcome,
+)
+from repro.attack.countermeasures import OracleLockoutError
+from repro.attack.protocol import AttackBudget, AttackOutcome, FeatureGuess
+from repro.errors import AttackError
+from repro.memory.key import SubKey
+
+
+@pytest.fixture(scope="module")
+def system():
+    """A shallow (L=1) system whose true subkeys the tests can reuse."""
+    return defender_spec("shallow-l1").build_system(8, 4, 512, seed=17)
+
+
+def outcome_with(guesses):
+    return AttackOutcome(
+        attacker="test",
+        guesses=tuple(guesses),
+        queries=0,
+        candidates_scored=0,
+    )
+
+
+def judge(system, guesses, features=range(4)):
+    return evaluate_outcome(
+        system.encoder.feature_matrix,
+        system.base_pool,
+        outcome_with(guesses),
+        features,
+    )
+
+
+class TestEvaluateOutcome:
+    def test_true_subkeys_score_zero(self, system):
+        guesses = [
+            FeatureGuess(f, system.key.subkeys[f], 0.0) for f in range(4)
+        ]
+        evaluation = judge(system, guesses)
+        assert evaluation == CellEvaluation(4, 4, 0.0)
+        assert evaluation.success_rate == 1.0
+
+    def test_wrong_subkey_lands_at_chance(self, system):
+        true = system.key.subkeys[0]
+        wrong_index = (true.indices[0] + 1) % system.base_pool.shape[0]
+        wrong = SubKey((int(wrong_index),), tuple(true.rotations))
+        evaluation = judge(system, [FeatureGuess(0, wrong, 0.1)], range(1))
+        assert evaluation.features_recovered == 0
+        assert evaluation.key_distance > RECOVERY_THRESHOLD
+        assert abs(evaluation.key_distance - 0.5) < 0.15
+
+    def test_abstention_charged_chance(self, system):
+        evaluation = judge(system, [FeatureGuess(0, None, 0.5)], range(1))
+        assert evaluation == CellEvaluation(1, 0, CHANCE_DISTANCE)
+
+    def test_missing_features_charged_chance(self, system):
+        # features the attacker never reached (lockout) score as chance
+        guesses = [FeatureGuess(0, system.key.subkeys[0], 0.0)]
+        evaluation = judge(system, guesses, range(4))
+        assert evaluation.features_attacked == 4
+        assert evaluation.features_recovered == 1
+        assert evaluation.key_distance == pytest.approx(
+            3 * CHANCE_DISTANCE / 4
+        )
+
+    def test_out_of_scope_guesses_earn_nothing(self, system):
+        # a guess on feature 7 cannot raise the score of a range(4) cell
+        guesses = [FeatureGuess(7, system.key.subkeys[7], 0.0)]
+        evaluation = judge(system, guesses, range(4))
+        assert evaluation.features_recovered == 0
+        assert evaluation.key_distance == pytest.approx(CHANCE_DISTANCE)
+
+    def test_empty_scope(self, system):
+        assert judge(system, [], range(0)) == CellEvaluation(0, 0, 0.0)
+        assert judge(system, [], range(0)).success_rate == 0.0
+
+
+class TestDuelRobustness:
+    @pytest.fixture
+    def defense(self, system):
+        return deploy_defender(defender_spec("shallow-l1"), system)
+
+    def test_escaped_lockout_becomes_outcome(self, defense):
+        class Brittle:
+            name = "brittle"
+
+            def run(self, surface, budget, rng):
+                raise OracleLockoutError("monitor tripped")
+
+        outcome = duel(
+            Brittle(), defense, AttackBudget(), np.random.default_rng(0)
+        )
+        assert outcome.locked_out
+        assert outcome.guesses == ()
+        assert "lockout" in outcome.notes
+
+    def test_escaped_attack_error_becomes_noted_outcome(self, defense):
+        class Crasher:
+            name = "crasher"
+
+            def run(self, surface, budget, rng):
+                raise AttackError("degenerate observation")
+
+        outcome = duel(
+            Crasher(), defense, AttackBudget(), np.random.default_rng(0)
+        )
+        assert not outcome.locked_out
+        assert outcome.guesses == ()
+        assert "degenerate observation" in outcome.notes
+
+    def test_well_behaved_outcome_passes_through(self, defense):
+        sentinel = outcome_with([])
+
+        class Quiet:
+            name = "quiet"
+
+            def run(self, surface, budget, rng):
+                return sentinel
+
+        assert (
+            duel(Quiet(), defense, AttackBudget(), np.random.default_rng(0))
+            is sentinel
+        )

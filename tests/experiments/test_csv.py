@@ -1,0 +1,92 @@
+"""CSV projections of artifact payloads (``--format csv``)."""
+
+from __future__ import annotations
+
+from repro.experiments.csvfmt import csv_rows, render_csv
+
+
+class TestTabularProjections:
+    def test_arena_cells_one_row_each(self):
+        data = {
+            "cells": [
+                {"attacker": "a", "defender": "d", "success_rate": 1.0},
+                {"attacker": "b", "defender": "d", "success_rate": 0.0},
+            ]
+        }
+        headers, rows = csv_rows("arena", data)
+        assert headers == ["attacker", "defender", "success_rate"]
+        assert rows == [["a", "d", "1.0"], ["b", "d", "0.0"]]
+
+    def test_table1_rows(self):
+        data = {"rows": [{"benchmark": "isolet", "accuracy": 0.91}]}
+        headers, rows = csv_rows("table1", data)
+        assert headers == ["benchmark", "accuracy"]
+        assert rows == [["isolet", "0.91"]]
+
+    def test_header_union_keeps_first_seen_order(self):
+        data = {
+            "cells": [
+                {"a": 1, "b": 2},
+                {"a": 3, "c": 4},
+            ]
+        }
+        headers, rows = csv_rows("fig8", data)
+        assert headers == ["a", "b", "c"]
+        # missing keys become empty fields, not errors
+        assert rows == [["1", "2", ""], ["3", "", "4"]]
+
+
+class TestSeriesProjections:
+    def test_fig3_long_format_marks_the_correct_candidate(self):
+        data = {"correct_index": 1, "distances": [0.5, 0.0, 0.47]}
+        headers, rows = csv_rows("fig3", data)
+        assert headers == ["candidate_index", "distance", "is_correct"]
+        assert rows[1] == ["1", "0.0", "true"]
+        assert rows[0][2] == rows[2][2] == "false"
+
+    def test_fig56_one_row_per_point(self):
+        data = {
+            "panels": [
+                {
+                    "parameter": "D",
+                    "layer": 2,
+                    "metric": "hamming",
+                    "candidates": [256, 512],
+                    "scores": [0.5, 0.49],
+                }
+            ]
+        }
+        headers, rows = csv_rows("fig5", data)
+        assert headers[0] == "panel"
+        assert len(rows) == 2
+        assert rows[0] == ["0", "D", "2", "hamming", "256", "0.5"]
+
+    def test_sweeps_tagged_by_table(self):
+        data = {
+            "recovery": [{"dim": 256, "feature_accuracy": 0.8}],
+            "margins": [{"n_features": 16, "separation": 0.1}],
+        }
+        headers, rows = csv_rows("sweeps", data)
+        assert headers[0] == "table"
+        assert {row[0] for row in rows} == {"recovery", "margins"}
+
+
+class TestGenericFallback:
+    def test_unknown_experiment_flattens_to_path_value(self):
+        data = {"a": {"b": [1, True]}, "c": 0.5}
+        headers, rows = csv_rows("fig9", data)
+        assert headers == ["path", "value"]
+        assert rows == [
+            ["a.b[0]", "1"],
+            ["a.b[1]", "true"],
+            ["c", "0.5"],
+        ]
+
+
+class TestRendering:
+    def test_deterministic_newline_discipline(self):
+        data = {"cells": [{"ok": True, "ratio": 1 / 3}]}
+        first = render_csv("arena", data)
+        assert first == render_csv("arena", data)
+        assert first == "ok,ratio\ntrue,%r\n" % (1 / 3)
+        assert "\r" not in first

@@ -108,7 +108,14 @@ class TestRunExperiments:
             "fig9",
             "ablations",
             "sweeps",
+            "arena",
         }
+
+    def test_arena_is_registered_last(self):
+        # Seed-group positions are SeedSequence spawn keys: appending the
+        # arena anywhere but last would silently re-seed every other
+        # experiment and invalidate all existing artifacts.
+        assert list(EXPERIMENTS)[-1] == "arena"
 
 
 class TestSharding:

@@ -10,7 +10,7 @@ import repro
 
 class TestTopLevelExports:
     def test_version(self):
-        assert repro.__version__ == "1.3.0"
+        assert repro.__version__ == "1.4.0"
 
     def test_all_names_resolve(self):
         for name in repro.__all__:
@@ -34,6 +34,7 @@ class TestTopLevelExports:
             assert name in repro.__all__
 
     def test_subpackage_alls_resolve(self):
+        import repro.arena
         import repro.attack
         import repro.data
         import repro.encoding
@@ -45,6 +46,7 @@ class TestTopLevelExports:
         import repro.utils
 
         for module in (
+            repro.arena,
             repro.attack,
             repro.data,
             repro.encoding,
