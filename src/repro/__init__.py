@@ -184,7 +184,7 @@ from repro.memory import (
 )
 from repro.model import HDClassifier, train_model
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",

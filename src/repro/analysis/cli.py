@@ -92,7 +92,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list_rules:
-        print(_list_rules())
+        print(_list_rules())  # reprolint: disable=RL007 -- the rule table IS the --list-rules output
         return 0
     try:
         files = collect_files(args.paths)
@@ -110,7 +110,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         except OSError as exc:
             print(f"reprolint: cannot read {file}: {exc}", file=sys.stderr)
             return 2
-    print(render(args.format, findings, files_checked=len(files)))
+    print(render(args.format, findings, files_checked=len(files)))  # reprolint: disable=RL007 -- the lint report IS the CLI's product; stdout is the contract
     return 1 if findings else 0
 
 

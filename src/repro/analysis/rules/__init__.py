@@ -11,5 +11,6 @@ from repro.analysis.rules import (  # noqa: F401  (imported for side effects)
     error_taxonomy,
     growth,
     packed,
+    printing,
     resources,
 )

@@ -1,0 +1,66 @@
+"""RL007 — library modules must not write to stdout with bare print().
+
+With PR 10 the repo has a real logging story: one-line JSON records via
+:mod:`repro.obs.logs`, silent by default, opted into by operators. A
+bare ``print()`` in library code bypasses all of it — the line carries
+no level, no logger name, no request ID, cannot be filtered or shipped,
+and corrupts machine-readable stdout (the runner's ``--format json``
+mode and the CSV projections are parsed by other tools).
+
+Scoped to ``repro``. Flagged: any call to the bare builtin ``print``
+with no ``file=`` argument. Structurally exempt:
+
+* modules whose last dotted segment is ``__main__`` — CLI entry points
+  own their stdout by definition;
+* ``print(..., file=...)`` — an explicit stream (typically
+  ``sys.stderr`` for CLI diagnostics) is a deliberate routing decision,
+  not an accidental stdout write.
+
+CLI helper modules that legitimately print rendered output (the
+experiment runner's text formatter, the reprolint CLI's report writer)
+carry inline suppressions with justifications instead of a scope carve-
+out: the exemption stays visible at every call site it covers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule, register
+
+
+@register
+class BarePrintRule(Rule):
+    rule_id = "RL007"
+    title = "no-bare-print"
+    severity = "error"
+    rationale = (
+        "A bare print() in repro library code writes unstructured text "
+        "to stdout: no level, no logger, no request ID, unfilterable, "
+        "and it corrupts machine-readable output modes (--format json/"
+        "csv). Use repro.obs.logs (silent unless an operator opts in) "
+        "or print(..., file=sys.stderr) for CLI diagnostics; __main__ "
+        "modules are exempt."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_package("repro"):
+            return
+        if ctx.module.rpartition(".")[2] == "__main__":
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+                and not any(kw.arg == "file" for kw in node.keywords)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare print() in library code writes unstructured "
+                    "text to stdout; log through repro.obs.logs, or "
+                    "direct CLI diagnostics with print(..., "
+                    "file=sys.stderr)",
+                )

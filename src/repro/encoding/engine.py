@@ -181,6 +181,10 @@ class EncodingPlan:
         else:
             self.mode = "einsum"
 
+        #: Optional bound metric children set by :meth:`instrument`;
+        #: None keeps the hot path at a single attribute check.
+        self._obs: tuple | None = None
+
         if self.mode == "blas":
             dt = self._float_dtype
             self._fea_float = fea.astype(dt)
@@ -214,6 +218,55 @@ class EncodingPlan:
         else:
             # (N, D) int32 gather per row dominates the fallback tile.
             self._row_bytes = self.n_features * self.dim * 4
+
+    # ------------------------------------------------------------------
+    # instrumentation
+    # ------------------------------------------------------------------
+
+    def instrument(self, metrics, scope: str = "library") -> None:
+        """Attach observability counters to this plan's accumulate calls.
+
+        ``metrics`` is a :class:`repro.obs.metrics.MetricsRegistry` (or
+        anything with its surface); ``scope`` labels who owns the plan —
+        the serving layer passes the tenant name. The counters record
+        rows encoded and calls made per kernel path (``blas`` /
+        ``bitslice`` / ``einsum``) and how many chunks were served by an
+        already-allocated per-call scratch buffer (the reuse the engine
+        exists to provide). Counting happens once per accumulate call,
+        outside the chunk loop, so the overhead is independent of batch
+        size; an un-instrumented plan pays one ``is None`` check.
+        """
+        rows = metrics.counter(
+            "repro_encode_rows_total",
+            "Rows encoded through EncodingPlan, by kernel path.",
+            labels=("scope", "path"),
+        )
+        calls = metrics.counter(
+            "repro_encode_calls_total",
+            "EncodingPlan accumulate calls, by kernel path.",
+            labels=("scope", "path"),
+        )
+        reuse = metrics.counter(
+            "repro_encode_scratch_reuse_total",
+            "Chunks that reused the call's existing scratch buffer.",
+            labels=("scope",),
+        )
+        self._obs = (
+            rows.bind(scope=scope, path=self.mode),
+            calls.bind(scope=scope, path=self.mode),
+            reuse.bind(scope=scope),
+        )
+
+    def _record_call(
+        self, n_rows: int, chunk: int, had_scratch: bool
+    ) -> None:
+        rows, calls, reuse = self._obs  # type: ignore[misc]
+        rows.add(n_rows)
+        calls.inc()
+        if had_scratch:
+            n_chunks = -(-n_rows // chunk)
+            if n_chunks > 1:
+                reuse.add(n_chunks - 1)
 
     # ------------------------------------------------------------------
     # kernels
@@ -301,6 +354,8 @@ class EncodingPlan:
             # The assignment casts float chunks to int64 in one pass;
             # every value is an exact small integer, so the cast is too.
             out[start:stop] = self._accumulate_chunk(samples[start:stop], scratch)
+        if self._obs is not None:
+            self._record_call(n_rows, chunk, scratch is not None)
         return out
 
     def accumulate_packed(
@@ -334,6 +389,8 @@ class EncodingPlan:
                 gen,
                 out=out[start:stop],
             )
+        if self._obs is not None:
+            self._record_call(n_rows, chunk, scratch is not None)
         return out
 
     def accumulate_single(self, sample: np.ndarray) -> np.ndarray:

@@ -105,6 +105,7 @@ from repro.experiments.table1 import (
     table1_from_dict,
     table1_to_dict,
 )
+from repro.obs.trace import SpanRecorder, span
 from repro.utils.timer import Timer
 
 #: Default cache location when neither ``--cache`` nor ``--no-cache``
@@ -376,6 +377,9 @@ class ShardOutcome:
     elapsed: float
     cache_hits: int
     cache_misses: int
+    #: Finished trace spans as plain dicts — picklable, so they survive
+    #: the spawn pool; filed under the manifest's volatile timing.
+    spans: tuple = ()
 
 
 def _execute_shard(
@@ -389,21 +393,28 @@ def _execute_shard(
 
     The wall clock is measured inside the worker, around exactly this
     unit's computation on this core — reasoning-time numbers stay honest
-    no matter how many sibling units run concurrently.
+    no matter how many sibling units run concurrently. Each unit also
+    records a trace span (named ``<experiment>`` or
+    ``<experiment>/<shard>``); spans travel back as dicts and end up in
+    the manifest's volatile section only, never in artifacts.
     """
     spec = EXPERIMENTS[name]
     cache = DiskCache(cache_dir) if cache_dir else None
     seed = child_seed(root_seed, name)
+    recorder = SpanRecorder()
+    span_name = name if shard is None else f"{name}/{shard}"
     with Timer() as timer:
-        if shard is None:
-            partial = spec.run(scale, seed, cache)
-        else:
-            partial = spec.run_shard(scale, seed, cache, shard)
+        with span(span_name, recorder):
+            if shard is None:
+                partial = spec.run(scale, seed, cache)
+            else:
+                partial = spec.run_shard(scale, seed, cache, shard)
     return ShardOutcome(
         partial=partial,
         elapsed=timer.elapsed,
         cache_hits=cache.hits if cache else 0,
         cache_misses=cache.misses if cache else 0,
+        spans=tuple(recorder.drain()),
     )
 
 
@@ -434,6 +445,9 @@ def _assemble(
             "hits": sum(o.cache_hits for o in outcomes),
             "misses": sum(o.cache_misses for o in outcomes),
         },
+        # Spans live under timing, which artifact_dict() excludes — so
+        # tracing can stay always-on without touching artifact bytes.
+        "spans": [s for o in outcomes for s in o.spans],
     }
     if shards != [None]:
         timing["shards"] = {
@@ -697,7 +711,7 @@ def main(argv: list[str] | None = None) -> int:
                 documents.append(outcomes[name].record.to_dict())
             elif name in skipped:
                 documents.append(load_artifact(skipped[name]))
-        print(
+        print(  # reprolint: disable=RL007 -- the JSON document IS the CLI's product; stdout is the contract
             canonical_json(
                 {
                     "seed": args.seed,
@@ -711,22 +725,22 @@ def main(argv: list[str] | None = None) -> int:
         )
     elif args.format == "csv":
         for name in names:
-            print(f"=== {name} ===")
+            print(f"=== {name} ===")  # reprolint: disable=RL007 -- CSV-mode section header; stdout is the product
             if name in payloads:
-                print(render_csv(name, payloads[name]), end="")
+                print(render_csv(name, payloads[name]), end="")  # reprolint: disable=RL007 -- the CSV projection IS the CLI's product
             else:
-                print(f"[error: {errors[name]}]")
+                print(f"[error: {errors[name]}]")  # reprolint: disable=RL007 -- in-band error marker in the rendered report
     else:
-        print(f"[experiment scale: {scale.name}, D={scale.dim}]")
+        print(f"[experiment scale: {scale.name}, D={scale.dim}]")  # reprolint: disable=RL007 -- text-mode report banner; stdout is the product
         for name in names:
-            print()
-            print(f"=== {name} ===")
+            print()  # reprolint: disable=RL007 -- text-report section spacing
+            print(f"=== {name} ===")  # reprolint: disable=RL007 -- text-mode section header; stdout is the product
             if name in skipped:
-                print(f"[skipped: artifact up to date at {skipped[name]}]")
+                print(f"[skipped: artifact up to date at {skipped[name]}]")  # reprolint: disable=RL007 -- in-band resume marker in the rendered report
             elif name in outcomes:
-                print(outcomes[name].rendered)
+                print(outcomes[name].rendered)  # reprolint: disable=RL007 -- the paper-style table IS the CLI's product
             else:
-                print(f"[error: {errors[name]}]")
+                print(f"[error: {errors[name]}]")  # reprolint: disable=RL007 -- in-band error marker in the rendered report
 
     for name, message in errors.items():
         print(f"error: {name}: {message}", file=sys.stderr)

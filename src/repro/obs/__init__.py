@@ -1,0 +1,52 @@
+"""repro.obs — stdlib-only observability: metrics, tracing, JSON logs.
+
+Three small modules, one contract:
+
+* :mod:`repro.obs.metrics` — process-wide :class:`MetricsRegistry`
+  (counters / gauges / fixed-bucket histograms) with a Prometheus
+  text-exposition renderer and a deterministic JSON snapshot;
+  :class:`NullMetrics` is the same surface as no-ops.
+* :mod:`repro.obs.trace` — contextvars-propagated request IDs and
+  nested monotonic spans recorded as picklable dicts.
+* :mod:`repro.obs.logs` — one-line JSON log records carrying the
+  current request ID; silent by default, ``configure()`` to opt in.
+
+The serving stack exposes all of it at ``/metrics`` (Prometheus text)
+and ``/statusz`` (JSON); the encoding engine and experiment runner hook
+in optionally and cost one ``None`` check when observability is off.
+"""
+
+from repro.obs.logs import configure, get_logger
+from repro.obs.metrics import (
+    BATCH_OCCUPANCY_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+from repro.obs.trace import (
+    SpanRecorder,
+    current_request_id,
+    new_request_id,
+    sanitize_request_id,
+    span,
+)
+
+__all__ = [
+    "BATCH_OCCUPANCY_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "SpanRecorder",
+    "configure",
+    "current_request_id",
+    "get_logger",
+    "new_request_id",
+    "sanitize_request_id",
+    "span",
+]

@@ -1,0 +1,106 @@
+"""Structured JSON logging: one line per record, trace IDs attached.
+
+Library default is **silence**: importing this module attaches a
+``NullHandler`` to the ``"repro"`` logger and turns off propagation, so
+embedding the package never spams a host application's root logger.
+Operators opt in with :func:`configure`, which attaches a stream
+handler emitting one JSON object per line::
+
+    {"ts": 1722945600.123, "level": "INFO", "logger": "repro.serving",
+     "message": "lane ready", "request_id": "req-1a2b-00000001",
+     "tenant": "alpha"}
+
+``request_id`` is pulled from the tracing contextvar at emit time, so
+any log line written while serving a request is joinable against the
+``x-request-id`` the client saw — no threading of IDs through call
+signatures. Extra structured fields ride the standard ``extra=``
+mechanism under a single ``fields`` key::
+
+    get_logger("repro.serving").info("lane ready",
+                                     extra={"fields": {"tenant": "alpha"}})
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import Any, TextIO
+
+from repro.obs.trace import current_request_id
+
+__all__ = ["configure", "get_logger", "reset"]
+
+_ROOT_NAME = "repro"
+
+#: Handler installed by configure(); tracked so reset() can detach it.
+_active_handler: logging.Handler | None = None
+
+
+class JsonLineFormatter(logging.Formatter):
+    """Render a LogRecord as one compact JSON line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        request_id = current_request_id()
+        if request_id is not None:
+            payload["request_id"] = request_id
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict):
+            payload.update(fields)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc_type"] = record.exc_info[0].__name__
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def _root() -> logging.Logger:
+    return logging.getLogger(_ROOT_NAME)
+
+
+def get_logger(name: str = _ROOT_NAME) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy."""
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(_ROOT_NAME + "." + name)
+
+
+def configure(
+    stream: TextIO | None = None, level: int | str = logging.INFO
+) -> logging.Logger:
+    """Opt in to JSON log output on ``stream`` (default: stderr).
+
+    Idempotent: a second call replaces the previous handler rather than
+    stacking a duplicate.
+    """
+    global _active_handler
+    root = _root()
+    if _active_handler is not None:
+        root.removeHandler(_active_handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonLineFormatter())
+    root.addHandler(handler)
+    root.setLevel(level)
+    _active_handler = handler
+    return root
+
+
+def reset() -> None:
+    """Back to the silent library default (tests use this)."""
+    global _active_handler
+    root = _root()
+    if _active_handler is not None:
+        root.removeHandler(_active_handler)
+        _active_handler = None
+    root.setLevel(logging.NOTSET)
+
+
+# Library-silence default: a NullHandler swallows records unless an
+# operator opted in, and propagate=False keeps them off the host
+# application's root logger either way.
+_root().addHandler(logging.NullHandler())
+_root().propagate = False

@@ -1,0 +1,427 @@
+"""Process-wide metrics: counters, gauges, fixed-bucket histograms.
+
+Zero third-party dependencies — the container this repo targets ships
+no ``prometheus_client``, so the subsystem brings the small subset the
+stack actually needs:
+
+* a :class:`MetricsRegistry` holding labelled metric *families*
+  (counter / gauge / histogram), guarded by one lock so instruments are
+  safe to tick from any thread (the serving loop thread, the stdlib
+  HTTP bridge's connection threads, bench client threads);
+* **deterministic snapshots**: families render sorted by name and label
+  values sorted within a family, so the ``/metrics`` exposition and the
+  ``/statusz`` JSON are stable byte-for-byte for a given set of
+  observations — which is what lets a golden test pin the format;
+* a `Prometheus text exposition`_ renderer (``# HELP`` / ``# TYPE``
+  headers, cumulative ``_bucket``/``_sum``/``_count`` histogram
+  samples, ``+Inf`` overflow bucket).
+
+Histograms use **fixed upper bounds** with Prometheus ``le``
+(less-or-equal) semantics: an observation equal to a bucket boundary
+counts in that bucket, and anything above the last bound lands in the
+implicit ``+Inf`` overflow bucket. The bucket-edge tests pin both.
+
+Hot paths bind label values once (:meth:`_Family.bind`) and tick the
+returned child, skipping the per-call label lookup; the encoding engine
+uses this so instrumentation stays well under the serving bench's 5 %
+overhead gate. :class:`NullMetrics` is the "off" switch: the same
+factory surface returning shared no-op instruments, so instrumented
+code never branches on whether observability is enabled.
+
+.. _Prometheus text exposition:
+   https://prometheus.io/docs/instrumenting/exposition_formats/
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "BATCH_OCCUPANCY_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+]
+
+#: Request-latency buckets (seconds): sub-millisecond through seconds,
+#: wide enough for the per-request path and the coalesced batch path.
+DEFAULT_LATENCY_BUCKETS_S: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5,
+)
+
+#: Batch-occupancy buckets (rows coalesced per kernel call); powers of
+#: two up to the default ``max_batch`` window.
+BATCH_OCCUPANCY_BUCKETS: tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+)
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value: integral floats print as integers."""
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 2**53:
+        return str(int(as_float))
+    return format(as_float, ".12g")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _label_pairs(
+    names: tuple[str, ...], values: tuple[str, ...]
+) -> str:
+    return ",".join(
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(names, values, strict=True)
+    )
+
+
+class _Child:
+    """One labelled time series of a counter or gauge family."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    #: Counters grow by row counts as often as by 1; same operation.
+    add = inc
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+
+class _HistogramChild:
+    """One labelled histogram series: per-bucket counts + sum + count."""
+
+    __slots__ = ("_lock", "_bounds", "bucket_counts", "sum", "count")
+
+    def __init__(self, lock: threading.Lock, bounds: tuple[float, ...]) -> None:
+        self._lock = lock
+        self._bounds = bounds
+        #: Raw (non-cumulative) counts; index len(bounds) is +Inf.
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            # le semantics: the first bound >= value owns the
+            # observation, so a value sitting exactly on a boundary
+            # counts in that boundary's bucket (bucket-edge test-pinned).
+            self.bucket_counts[bisect_left(self._bounds, value)] += 1
+            self.sum += value
+            self.count += 1
+
+    def cumulative(self) -> list[int]:
+        total = 0
+        out = []
+        for n in self.bucket_counts:
+            total += n
+            out.append(total)
+        return out
+
+
+class _Family:
+    """A named metric family: fixed label names, many children."""
+
+    kind = ""
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: tuple[str, ...],
+        lock: threading.Lock,
+    ) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.label_names = label_names
+        self._lock = lock
+        self._children: dict[tuple[str, ...], Any] = {}
+
+    def _make_child(self) -> Any:
+        raise NotImplementedError
+
+    def _child_values(self, labels: Mapping[str, Any]) -> tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ConfigurationError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def bind(self, **labels: Any) -> Any:
+        """The child for one label-value assignment (hot-path handle)."""
+        values = self._child_values(labels)
+        with self._lock:
+            child = self._children.get(values)
+            if child is None:
+                child = self._make_child()
+                self._children[values] = child
+        return child
+
+    def _sorted_children(self) -> list[tuple[tuple[str, ...], Any]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+
+class Counter(_Family):
+    """Monotonically increasing count (requests, rows, denials)."""
+
+    kind = "counter"
+
+    def _make_child(self) -> _Child:
+        return _Child(self._lock)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        self.bind(**labels).inc(amount)
+
+    def add(self, amount: float, **labels: Any) -> None:
+        self.bind(**labels).inc(amount)
+
+    def value(self, **labels: Any) -> float:
+        return self.bind(**labels).value
+
+
+class Gauge(_Family):
+    """A value that can go up and down (tenants served, generations)."""
+
+    kind = "gauge"
+
+    def _make_child(self) -> _Child:
+        return _Child(self._lock)
+
+    def set(self, value: float, **labels: Any) -> None:
+        self.bind(**labels).set(value)
+
+    def value(self, **labels: Any) -> float:
+        return self.bind(**labels).value
+
+
+class Histogram(_Family):
+    """Fixed-bucket distribution (latencies, batch occupancy)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: tuple[str, ...],
+        lock: threading.Lock,
+        buckets: Iterable[float],
+    ) -> None:
+        super().__init__(name, help_text, label_names, lock)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ConfigurationError(
+                f"histogram {name!r} needs at least one bucket bound"
+            )
+        if len(set(bounds)) != len(bounds):
+            raise ConfigurationError(
+                f"histogram {name!r} has duplicate bucket bounds: {bounds}"
+            )
+        self.buckets = bounds
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self._lock, self.buckets)
+
+    def observe(self, value: float, **labels: Any) -> None:
+        self.bind(**labels).observe(value)
+
+
+class MetricsRegistry:
+    """Thread-safe registry of metric families with stable rendering.
+
+    Re-registering a name with identical kind/labels/buckets returns
+    the existing family (modules can declare their instruments
+    idempotently); any mismatch is a :class:`ConfigurationError` —
+    two subsystems fighting over one name is a wiring bug.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    #: Duck-typed "is observability on" probe; NullMetrics says False.
+    enabled = True
+
+    def _register(self, family: _Family) -> _Family:
+        with self._lock:
+            existing = self._families.get(family.name)
+            if existing is None:
+                self._families[family.name] = family
+                return family
+        if (
+            existing.kind != family.kind
+            or existing.label_names != family.label_names
+            or getattr(existing, "buckets", None)
+            != getattr(family, "buckets", None)
+        ):
+            raise ConfigurationError(
+                f"metric {family.name!r} is already registered as a "
+                f"{existing.kind} with labels {existing.label_names}"
+            )
+        return existing
+
+    def counter(
+        self, name: str, help_text: str, labels: tuple[str, ...] = ()
+    ) -> Counter:
+        return self._register(Counter(name, help_text, labels, self._lock))
+
+    def gauge(
+        self, name: str, help_text: str, labels: tuple[str, ...] = ()
+    ) -> Gauge:
+        return self._register(Gauge(name, help_text, labels, self._lock))
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labels: tuple[str, ...] = (),
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS_S,
+    ) -> Histogram:
+        return self._register(
+            Histogram(name, help_text, labels, self._lock, buckets)
+        )
+
+    def _sorted_families(self) -> list[_Family]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    # -- output --------------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """The ``/metrics`` body: text exposition format 0.0.4."""
+        lines: list[str] = []
+        for family in self._sorted_families():
+            lines.append(f"# HELP {family.name} {_escape_help(family.help_text)}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for values, child in family._sorted_children():
+                pairs = _label_pairs(family.label_names, values)
+                if isinstance(child, _HistogramChild):
+                    cumulative = child.cumulative()
+                    bounds = [
+                        format(b, ".12g") for b in family.buckets
+                    ] + ["+Inf"]
+                    for bound, count in zip(bounds, cumulative, strict=True):
+                        le = pairs + ("," if pairs else "") + f'le="{bound}"'
+                        lines.append(
+                            f"{family.name}_bucket{{{le}}} {count}"
+                        )
+                    suffix = f"{{{pairs}}}" if pairs else ""
+                    lines.append(
+                        f"{family.name}_sum{suffix} {_format_value(child.sum)}"
+                    )
+                    lines.append(f"{family.name}_count{suffix} {child.count}")
+                else:
+                    suffix = f"{{{pairs}}}" if pairs else ""
+                    lines.append(
+                        f"{family.name}{suffix} {_format_value(child.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict[str, Any]:
+        """Deterministic JSON-ready dump (the ``/statusz`` section)."""
+        out: dict[str, Any] = {}
+        for family in self._sorted_families():
+            samples = []
+            for values, child in family._sorted_children():
+                labels = dict(
+                    zip(family.label_names, values, strict=True)
+                )
+                if isinstance(child, _HistogramChild):
+                    buckets = dict(
+                        zip(
+                            [format(b, ".12g") for b in family.buckets]
+                            + ["+Inf"],
+                            child.cumulative(),
+                            strict=True,
+                        )
+                    )
+                    samples.append(
+                        {
+                            "labels": labels,
+                            "count": child.count,
+                            "sum": child.sum,
+                            "buckets": buckets,
+                        }
+                    )
+                else:
+                    samples.append({"labels": labels, "value": child.value})
+            out[family.name] = {"type": family.kind, "samples": samples}
+        return out
+
+
+class _NullInstrument:
+    """Accepts every instrument method as a no-op."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        pass
+
+    def add(self, amount: float, **labels: Any) -> None:
+        pass
+
+    def set(self, value: float, **labels: Any) -> None:
+        pass
+
+    def observe(self, value: float, **labels: Any) -> None:
+        pass
+
+    def bind(self, **labels: Any) -> "_NullInstrument":
+        return self
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """The observability "off" switch with the registry's surface.
+
+    Instrumented code holds instruments and ticks them unconditionally;
+    swapping this in turns every tick into an attribute-free no-op —
+    which is exactly what the serving bench's overhead cell compares
+    against the real registry.
+    """
+
+    enabled = False
+
+    def counter(self, *args: Any, **kwargs: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, *args: Any, **kwargs: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, *args: Any, **kwargs: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def render_prometheus(self) -> str:
+        return ""
+
+    def snapshot(self) -> dict[str, Any]:
+        return {}

@@ -141,6 +141,29 @@ def self_check() -> int:
                 "/v1/tenant0/classify", json={"sample": probe}
             )
             assert still_ok.status == 200, still_ok
+            assert still_ok.headers.get("x-request-id"), still_ok.headers
+
+            # Observability surface: the traffic above must show up in
+            # the Prometheus exposition and the status page.
+            metrics = client.get("/metrics")
+            assert metrics.status == 200, metrics
+            exposition = metrics.content.decode()
+            assert "# TYPE repro_requests_total counter" in exposition
+            assert 'repro_requests_total{tenant="tenant0"' in exposition
+            assert (
+                'repro_key_gate_denials_total{tenant="tenant1",'
+                'reason="revoked"} 1' in exposition
+            )
+            verdict["metrics_lines"] = len(exposition.splitlines())
+
+            statusz = client.get("/statusz")
+            assert statusz.status == 200, statusz
+            status_body = statusz.json()
+            assert status_body["status"] == "ok"
+            assert status_body["uptime_s"] >= 0
+            assert status_body["batchers"]["tenant0"]["classify"]["requests"] >= 2
+            assert status_body["tenants"]["tenant1"]["revoked"] is True
+            verdict["statusz_tenants"] = sorted(status_body["tenants"])
         verdict["ok"] = True
         print(json.dumps(verdict, indent=2))
     return 0
@@ -227,8 +250,9 @@ def main(argv: list[str] | None = None) -> int:
     def ready(host: str, port: int) -> None:
         print(f"serving {len(registry)} tenants on http://{host}:{port}")
         print(
-            "  GET  /healthz | GET /v1/models | "
-            "POST /v1/{tenant}/classify | POST /v1/{tenant}/encode"
+            "  GET  /healthz | GET /v1/models | GET /metrics | "
+            "GET /statusz | POST /v1/{tenant}/classify | "
+            "POST /v1/{tenant}/encode"
         )
 
     try:

@@ -20,7 +20,8 @@ from repro.errors import (
     DimensionMismatchError,
     KeyFormatError,
 )
-from repro.serving.asgi import App, JSONResponse, Request
+from repro.obs.metrics import MetricsRegistry, NullMetrics
+from repro.serving.asgi import App, JSONResponse, PlainTextResponse, Request
 from repro.serving.errors import ServingError
 from repro.serving.registry import ModelRegistry
 from repro.serving.service import (
@@ -55,6 +56,7 @@ def create_app(
     registry: ModelRegistry,
     max_batch: int = DEFAULT_MAX_BATCH,
     max_wait_s: float = DEFAULT_MAX_WAIT_S,
+    instrument: bool = True,
 ) -> App:
     """Build the serving application over a populated registry.
 
@@ -62,9 +64,14 @@ def create_app(
     startup/shutdown drive the service's batcher lanes, so hosting it
     under any spec-compliant server (or the bundled test client /
     stdlib server) gets deterministic drain-on-shutdown for free.
+
+    ``instrument=False`` swaps the metrics registry for no-ops —
+    ``/metrics`` serves an empty body and the request path pays nothing;
+    the serving bench uses it to measure instrumentation overhead.
     """
+    metrics = MetricsRegistry() if instrument else NullMetrics()
     service = InferenceService(
-        registry, max_batch=max_batch, max_wait_s=max_wait_s
+        registry, max_batch=max_batch, max_wait_s=max_wait_s, metrics=metrics
     )
     app = App(
         on_startup=service.startup,
@@ -78,6 +85,15 @@ def create_app(
     @app.get("/healthz")
     async def healthz(request: Request) -> JSONResponse:
         return JSONResponse(service.healthz().to_dict())
+
+    @app.get("/metrics")
+    async def metrics_endpoint(request: Request) -> PlainTextResponse:
+        return PlainTextResponse(service.metrics.render_prometheus())
+
+    @app.get("/statusz")
+    async def statusz(request: Request) -> JSONResponse:
+        reset = request.query.get("reset", "0") in {"1", "true"}
+        return JSONResponse(service.statusz(reset=reset))
 
     @app.get("/v1/models")
     async def models(request: Request) -> JSONResponse:

@@ -17,6 +17,9 @@ from __future__ import annotations
 import json
 import re
 from typing import Any, Awaitable, Callable
+from urllib.parse import parse_qsl
+
+from repro.obs.trace import reset_request_id, sanitize_request_id, set_request_id
 
 #: Request body cap (1 MiB of JSON ≈ far above MAX_ROWS_PER_REQUEST).
 MAX_BODY_BYTES = 1 << 20
@@ -32,6 +35,26 @@ class Request:
         self.path: str = scope["path"]
         #: Path template parameters filled in by the router.
         self.params: dict[str, str] = {}
+        self._headers: dict[str, str] | None = None
+        self._query: dict[str, str] | None = None
+
+    @property
+    def headers(self) -> dict[str, str]:
+        """Request headers, names lower-cased (last value wins)."""
+        if self._headers is None:
+            self._headers = {
+                key.decode("latin-1").lower(): value.decode("latin-1")
+                for key, value in self.scope.get("headers", [])
+            }
+        return self._headers
+
+    @property
+    def query(self) -> dict[str, str]:
+        """Query-string parameters (last value wins)."""
+        if self._query is None:
+            raw = self.scope.get("query_string", b"").decode("latin-1")
+            self._query = dict(parse_qsl(raw))
+        return self._query
 
     async def body(self) -> bytes:
         chunks: list[bytes] = []
@@ -71,14 +94,14 @@ class BodyTooLarge(Exception):
         self.size = size
 
 
-class JSONResponse:
-    """A JSON response with a fixed status code."""
+class Response:
+    """Base response: a byte body, a status code, mutable headers."""
 
-    def __init__(self, payload: Any, status: int = 200) -> None:
+    def __init__(self, body: bytes, status: int, content_type: bytes) -> None:
         self.status = int(status)
-        self.body = json.dumps(payload).encode()
+        self.body = body
         self.headers = [
-            (b"content-type", b"application/json"),
+            (b"content-type", content_type),
             (b"content-length", str(len(self.body)).encode()),
         ]
 
@@ -93,7 +116,32 @@ class JSONResponse:
         await send({"type": "http.response.body", "body": self.body})
 
 
-Handler = Callable[[Request], Awaitable[JSONResponse]]
+class JSONResponse(Response):
+    """A JSON response with a fixed status code."""
+
+    def __init__(self, payload: Any, status: int = 200) -> None:
+        super().__init__(
+            json.dumps(payload).encode(), status, b"application/json"
+        )
+
+
+class PlainTextResponse(Response):
+    """A text response — the ``/metrics`` exposition body.
+
+    The default content type is the Prometheus text format 0.0.4 type,
+    which scrapers use to pick a parser.
+    """
+
+    def __init__(
+        self,
+        text: str,
+        status: int = 200,
+        content_type: str = "text/plain; version=0.0.4; charset=utf-8",
+    ) -> None:
+        super().__init__(text.encode(), status, content_type.encode())
+
+
+Handler = Callable[[Request], Awaitable[Response]]
 
 #: ``{name}`` path-template segment, starlette-style.
 _PARAM_RE = re.compile(r"\{([a-zA-Z_][a-zA-Z0-9_]*)\}")
@@ -162,7 +210,20 @@ class App:
             return
         if scope["type"] != "http":
             raise RuntimeError(f"unsupported ASGI scope {scope['type']!r}")
-        response = await self._dispatch(Request(scope, receive))
+        request = Request(scope, receive)
+        # Request-ID middleware: honor a safely-shaped client
+        # x-request-id, otherwise mint one; bind it to the task context
+        # for the duration of the dispatch (so spans and log lines pick
+        # it up) and echo it on the response.
+        request_id = sanitize_request_id(request.headers.get("x-request-id"))
+        token = set_request_id(request_id)
+        try:
+            response = await self._dispatch(request)
+        finally:
+            reset_request_id(token)
+        response.headers.append(
+            (b"x-request-id", request_id.encode("latin-1"))
+        )
         await response.send(send)
 
     async def _lifespan(self, receive: Callable, send: Callable) -> None:
@@ -196,7 +257,7 @@ class App:
                 await send({"type": "lifespan.shutdown.complete"})
                 return
 
-    async def _dispatch(self, request: Request) -> JSONResponse:
+    async def _dispatch(self, request: Request) -> Response:
         path_matched = False
         for route in self.routes:
             match = route.pattern.match(request.path)

@@ -65,6 +65,24 @@ class BatchStats:
             "mean_rows_per_batch": self.mean_rows_per_batch,
         }
 
+    def reset(self) -> None:
+        self.requests = 0
+        self.rows = 0
+        self.batches = 0
+        self.largest_batch = 0
+
+    def snapshot(self, reset: bool = False) -> dict:
+        """The counters as a dict; optionally zero them afterwards.
+
+        Reset-on-read is what ``/statusz?reset=1`` uses so periodic
+        scrapers see per-interval coalescing behaviour instead of
+        since-boot aggregates.
+        """
+        out = self.to_dict()
+        if reset:
+            self.reset()
+        return out
+
 
 class MicroBatcher:
     """Coalesce concurrent ``(k, N)`` row chunks into one batch call.
@@ -84,6 +102,7 @@ class MicroBatcher:
         max_batch: int = 64,
         max_wait_s: float = 0.002,
         name: str = "",
+        on_flush: Callable[[int], None] | None = None,
     ) -> None:
         if max_batch < 1:
             raise ConfigurationError(
@@ -97,6 +116,9 @@ class MicroBatcher:
         self.max_batch = int(max_batch)
         self.max_wait_s = float(max_wait_s)
         self.name = name
+        #: Occupancy observer: called with the stacked row count once
+        #: per flush (the service wires a histogram child's observe).
+        self._on_flush = on_flush
         self.stats = BatchStats()
         self._pending: list[tuple[np.ndarray, asyncio.Future]] = []
         self._pending_rows = 0
@@ -145,6 +167,8 @@ class MicroBatcher:
         self.stats.largest_batch = max(
             self.stats.largest_batch, int(stacked.shape[0])
         )
+        if self._on_flush is not None:
+            self._on_flush(int(stacked.shape[0]))
         try:
             results = self._run_batch(stacked)
         except Exception as exc:

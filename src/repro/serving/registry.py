@@ -296,6 +296,24 @@ class ModelRegistry:
     def names(self) -> list[str]:
         return sorted(self._tenants)
 
+    def status(self) -> dict:
+        """Key-lifecycle snapshot per tenant (the ``/statusz`` section).
+
+        Surfaces exactly the state :meth:`Tenant.check_access` gates on:
+        the store's *live* rotation generation next to the generation the
+        tenant was provisioned at (they diverge when a rotation ran under
+        the serving replica) and the device's revocation flag.
+        """
+        return {
+            name: {
+                "device_id": tenant.device_id,
+                "generation": tenant.store.generation,
+                "provisioned_generation": tenant.generation,
+                "revoked": tenant.store.is_revoked(tenant.device_id),
+            }
+            for name, tenant in sorted(self._tenants.items())
+        }
+
     def __len__(self) -> int:
         return len(self._tenants)
 

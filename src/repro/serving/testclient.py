@@ -118,18 +118,27 @@ class TestClient:
     # -- requests ------------------------------------------------------
 
     def request(
-        self, method: str, path: str, json: Any | None = None
+        self,
+        method: str,
+        path: str,
+        json: Any | None = None,
+        headers: dict[str, str] | None = None,
     ) -> Response:
         body = b"" if json is None else _json.dumps(json).encode()
-        return self._call(self._request(method, path, body))
+        return self._call(self._request(method, path, body, headers or {}))
 
-    def get(self, path: str) -> Response:
-        return self.request("GET", path)
+    def get(self, path: str, headers: dict[str, str] | None = None) -> Response:
+        return self.request("GET", path, headers=headers)
 
-    def post(self, path: str, json: Any) -> Response:
-        return self.request("POST", path, json=json)
+    def post(
+        self, path: str, json: Any, headers: dict[str, str] | None = None
+    ) -> Response:
+        return self.request("POST", path, json=json, headers=headers)
 
-    async def _request(self, method: str, path: str, body: bytes) -> Response:
+    async def _request(
+        self, method: str, path: str, body: bytes, headers: dict[str, str]
+    ) -> Response:
+        path, _, query = path.partition("?")
         scope = {
             "type": "http",
             "asgi": {"version": "3.0"},
@@ -137,8 +146,12 @@ class TestClient:
             "method": method.upper(),
             "path": path,
             "raw_path": path.encode(),
-            "query_string": b"",
-            "headers": [(b"content-type", b"application/json")],
+            "query_string": query.encode("latin-1"),
+            "headers": [(b"content-type", b"application/json")]
+            + [
+                (key.lower().encode("latin-1"), value.encode("latin-1"))
+                for key, value in headers.items()
+            ],
         }
         received = False
 

@@ -52,6 +52,7 @@ class TestSeededViolations:
             "RL004",
             "RL005",
             "RL006",
+            "RL007",
             "RL000",
         ]
         assert payload["files_checked"] == 1
@@ -64,7 +65,7 @@ class TestSeededViolations:
             for line in result.stdout.splitlines()
             if line.startswith("::error ")
         ]
-        assert len(annotations) == 7
+        assert len(annotations) == 8
         assert f"file={FIXTURE}" in annotations[0]
 
     def test_text_format_and_exit_code(self):
@@ -100,5 +101,6 @@ class TestUsageErrors:
             "RL004",
             "RL005",
             "RL006",
+            "RL007",
         ):
             assert rule_id in result.stdout

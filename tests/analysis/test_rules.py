@@ -16,9 +16,17 @@ def rule_ids(findings) -> list[str]:
 
 
 class TestRegistry:
-    def test_six_domain_rules_registered(self):
+    def test_seven_domain_rules_registered(self):
         ids = [cls.rule_id for cls in all_rules()]
-        assert ids == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+        assert ids == [
+            "RL001",
+            "RL002",
+            "RL003",
+            "RL004",
+            "RL005",
+            "RL006",
+            "RL007",
+        ]
 
     def test_every_rule_documents_itself(self):
         for cls in all_rules():
@@ -35,6 +43,7 @@ CASES = {
     "rl004": "RL004",
     "rl005": "RL005",
     "rl006": "RL006",
+    "rl007": "RL007",
 }
 
 
@@ -195,6 +204,23 @@ class TestGrowthRule:
             "        await self._inbox.put(m)\n"
         )
         assert lint_source(src, "t.py", module="repro.serving.x") == []
+
+
+class TestPrintingRule:
+    def test_main_modules_are_exempt(self):
+        src = "print('serving on :8100')\n"
+        assert lint_source(src, "t.py", module="repro.serving.__main__") == []
+        assert rule_ids(
+            lint_source(src, "t.py", module="repro.serving.service")
+        ) == ["RL007"]
+
+    def test_explicit_stream_is_allowed(self):
+        src = "import sys\nprint('diag', file=sys.stderr)\n"
+        assert lint_source(src, "t.py", module="repro.analysis.cli") == []
+
+    def test_out_of_package_code_not_checked(self):
+        src = "print('tests may print')\n"
+        assert lint_source(src, "t.py", module="tests.serving.t") == []
 
 
 class TestResourceRule:

@@ -285,10 +285,15 @@ class TestJobsParity:
         """Acceptance: same seed => byte-identical artifacts at any --jobs.
 
         Covers an analytic experiment (fig7), the cycle model (fig9),
-        a stochastic attack (fig3) and the sharded table1.
+        a stochastic attack (fig3) and the sharded table1. Spans are
+        always recorded, so this run doubles as the acceptance check
+        that tracing never leaks into artifact bytes; the span *shape*
+        (names and nesting) in the manifest's volatile section must
+        also agree across jobs levels — only the clock values may move.
         """
         names = "table1,fig3,fig7,fig9"
         outputs = {}
+        span_shapes = {}
         for jobs in ("1", "4"):
             out_dir = tmp_path / f"jobs{jobs}"
             rc = main(
@@ -314,6 +319,14 @@ class TestJobsParity:
                 for path in sorted(out_dir.glob("*.json"))
                 if path.name != "manifest.json"
             }
+            manifest = json.loads((out_dir / "manifest.json").read_text())
+            span_shapes[jobs] = {
+                name: [
+                    (s["name"], s["parent"])
+                    for s in status["timing"]["spans"]
+                ]
+                for name, status in manifest["experiments"].items()
+            }
         assert set(outputs["1"]) == {
             "table1.json",
             "fig3.json",
@@ -321,6 +334,14 @@ class TestJobsParity:
             "fig9.json",
         }
         assert outputs["1"] == outputs["4"]
+        assert span_shapes["1"] == span_shapes["4"]
+        assert span_shapes["1"]["fig7"] == [("fig7", None)]
+        # The sharded experiment records one span per work unit.
+        assert len(span_shapes["1"]["table1"]) > 1
+        assert all(
+            name.startswith("table1/") and parent is None
+            for name, parent in span_shapes["1"]["table1"]
+        )
 
 
 class TestModuleEntrypoint:

@@ -1,0 +1,99 @@
+"""Structured JSON logging: silent default, one JSON object per line."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import logs
+from repro.obs.trace import reset_request_id, set_request_id
+
+
+@pytest.fixture(autouse=True)
+def silent_after() -> None:
+    yield
+    logs.reset()
+
+
+def configure_buffer(level: int | str = logging.INFO) -> io.StringIO:
+    stream = io.StringIO()
+    logs.configure(stream=stream, level=level)
+    return stream
+
+
+class TestSilentDefault:
+    def test_library_logger_does_not_propagate(self):
+        root = logging.getLogger("repro")
+        assert root.propagate is False
+        assert any(
+            isinstance(h, logging.NullHandler) for h in root.handlers
+        )
+
+    def test_no_output_without_configure(self, capsys):
+        logs.get_logger("repro.serving").warning("should vanish")
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == ""
+
+
+class TestConfigure:
+    def test_one_json_object_per_line(self):
+        stream = configure_buffer()
+        log = logs.get_logger("repro.serving")
+        log.info("lane ready", extra={"fields": {"tenant": "alpha"}})
+        log.info("second line")
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["message"] == "lane ready"
+        assert first["logger"] == "repro.serving"
+        assert first["level"] == "INFO"
+        assert first["tenant"] == "alpha"
+        assert first["ts"] > 0
+
+    def test_request_id_attached_from_context(self):
+        stream = configure_buffer()
+        token = set_request_id("req-log-1")
+        try:
+            logs.get_logger("repro.serving").info("in request")
+        finally:
+            reset_request_id(token)
+        logs.get_logger("repro.serving").info("outside request")
+        in_req, out_req = [
+            json.loads(line)
+            for line in stream.getvalue().strip().splitlines()
+        ]
+        assert in_req["request_id"] == "req-log-1"
+        assert "request_id" not in out_req
+
+    def test_reconfigure_replaces_handler(self):
+        first = configure_buffer()
+        second = configure_buffer()
+        logs.get_logger("repro").info("once")
+        assert first.getvalue() == ""
+        assert len(second.getvalue().strip().splitlines()) == 1
+
+    def test_exception_info_is_structured(self):
+        stream = configure_buffer()
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            logs.get_logger("repro").exception("failed")
+        record = json.loads(stream.getvalue())
+        assert record["exc_type"] == "ValueError"
+        assert "boom" in record["exc"]
+
+    def test_get_logger_prefixes_foreign_names(self):
+        assert logs.get_logger("serving").name == "repro.serving"
+        assert logs.get_logger("repro.hv").name == "repro.hv"
+
+    def test_reset_restores_silence(self, capsys):
+        configure_buffer()
+        logs.reset()
+        logs.get_logger("repro").info("after reset")
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == ""

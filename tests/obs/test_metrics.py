@@ -1,0 +1,181 @@
+"""MetricsRegistry: instruments, exposition format, determinism."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry, NullMetrics
+
+
+@pytest.fixture
+def reg() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_add(self, reg):
+        c = reg.counter("repro_x_total", "X.", labels=("t",))
+        c.inc(t="a")
+        c.add(4, t="a")
+        c.inc(t="b")
+        assert c.value(t="a") == 5
+        assert c.value(t="b") == 1
+
+    def test_label_mismatch_is_config_error(self, reg):
+        c = reg.counter("repro_x_total", "X.", labels=("t",))
+        with pytest.raises(ConfigurationError):
+            c.inc(wrong="a")
+        with pytest.raises(ConfigurationError):
+            c.inc()
+
+    def test_bound_child_is_the_same_series(self, reg):
+        c = reg.counter("repro_x_total", "X.", labels=("t",))
+        child = c.bind(t="a")
+        child.inc()
+        child.add(2)
+        assert c.value(t="a") == 3
+
+
+class TestRegistry:
+    def test_reregistration_is_idempotent(self, reg):
+        a = reg.counter("repro_x_total", "X.", labels=("t",))
+        b = reg.counter("repro_x_total", "X.", labels=("t",))
+        assert a is b
+
+    def test_kind_conflict_raises(self, reg):
+        reg.counter("repro_x_total", "X.", labels=("t",))
+        with pytest.raises(ConfigurationError):
+            reg.gauge("repro_x_total", "X.", labels=("t",))
+
+    def test_label_conflict_raises(self, reg):
+        reg.counter("repro_x_total", "X.", labels=("t",))
+        with pytest.raises(ConfigurationError):
+            reg.counter("repro_x_total", "X.", labels=("u",))
+
+    def test_bucket_conflict_raises(self, reg):
+        reg.histogram("repro_h", "H.", buckets=(1.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            reg.histogram("repro_h", "H.", buckets=(1.0, 3.0))
+
+    def test_empty_buckets_raise(self, reg):
+        with pytest.raises(ConfigurationError):
+            reg.histogram("repro_h", "H.", buckets=())
+
+    def test_thread_safety_of_counts(self, reg):
+        c = reg.counter("repro_x_total", "X.", labels=("t",))
+        child = c.bind(t="a")
+
+        def spin():
+            for _ in range(1000):
+                child.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value(t="a") == 8000
+
+
+class TestHistogramBuckets:
+    """Bucket-edge semantics: Prometheus ``le`` is less-or-equal."""
+
+    def test_exact_boundary_lands_in_its_bucket(self, reg):
+        h = reg.histogram("repro_h", "H.", buckets=(1.0, 2.0, 4.0))
+        h.observe(2.0)
+        snap = reg.snapshot()["repro_h"]["samples"][0]
+        assert snap["buckets"] == {"1": 0, "2": 1, "4": 1, "+Inf": 1}
+
+    def test_overflow_goes_to_inf_only(self, reg):
+        h = reg.histogram("repro_h", "H.", buckets=(1.0, 2.0))
+        h.observe(99.0)
+        snap = reg.snapshot()["repro_h"]["samples"][0]
+        assert snap["buckets"] == {"1": 0, "2": 0, "+Inf": 1}
+        assert snap["count"] == 1
+        assert snap["sum"] == 99.0
+
+    def test_below_first_bound(self, reg):
+        h = reg.histogram("repro_h", "H.", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        snap = reg.snapshot()["repro_h"]["samples"][0]
+        assert snap["buckets"] == {"1": 1, "2": 1, "+Inf": 1}
+
+    def test_bounds_are_sorted_on_construction(self, reg):
+        h = reg.histogram("repro_h", "H.", buckets=(4.0, 1.0, 2.0))
+        assert h.buckets == (1.0, 2.0, 4.0)
+
+
+class TestExposition:
+    """Golden test: the /metrics body, byte for byte."""
+
+    def test_golden_render(self, reg):
+        c = reg.counter(
+            "repro_requests_total", "Total requests.", labels=("tenant", "op")
+        )
+        c.add(3, tenant="alpha", op="encode")
+        c.inc(tenant="beta", op="classify")
+        g = reg.gauge("repro_tenants", "Registered tenants.")
+        g.set(2)
+        h = reg.histogram(
+            "repro_latency_seconds",
+            "Latency.",
+            labels=("tenant",),
+            buckets=(0.001, 0.01),
+        )
+        h.observe(0.01, tenant="alpha")
+        h.observe(5.0, tenant="alpha")
+        expected = "\n".join(
+            [
+                "# HELP repro_latency_seconds Latency.",
+                "# TYPE repro_latency_seconds histogram",
+                'repro_latency_seconds_bucket{tenant="alpha",le="0.001"} 0',
+                'repro_latency_seconds_bucket{tenant="alpha",le="0.01"} 1',
+                'repro_latency_seconds_bucket{tenant="alpha",le="+Inf"} 2',
+                'repro_latency_seconds_sum{tenant="alpha"} 5.01',
+                'repro_latency_seconds_count{tenant="alpha"} 2',
+                "# HELP repro_requests_total Total requests.",
+                "# TYPE repro_requests_total counter",
+                'repro_requests_total{tenant="alpha",op="encode"} 3',
+                'repro_requests_total{tenant="beta",op="classify"} 1',
+                "# HELP repro_tenants Registered tenants.",
+                "# TYPE repro_tenants gauge",
+                "repro_tenants 2",
+            ]
+        ) + "\n"
+        assert reg.render_prometheus() == expected
+
+    def test_render_is_deterministic_under_insertion_order(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        ca = a.counter("repro_z_total", "Z.", labels=("t",))
+        a.counter("repro_a_total", "A.", labels=("t",)).inc(t="x")
+        ca.inc(t="b")
+        ca.inc(t="a")
+        cb = b.counter("repro_a_total", "A.", labels=("t",))
+        b.counter("repro_z_total", "Z.", labels=("t",)).bind(t="a").inc()
+        b.counter("repro_z_total", "Z.", labels=("t",)).bind(t="b").inc()
+        cb.inc(t="x")
+        assert a.render_prometheus() == b.render_prometheus()
+
+    def test_label_values_are_escaped(self, reg):
+        c = reg.counter("repro_x_total", "X.", labels=("t",))
+        c.inc(t='we"ird\\name\nline')
+        rendered = reg.render_prometheus()
+        assert 't="we\\"ird\\\\name\\nline"' in rendered
+
+    def test_empty_registry_renders_empty(self, reg):
+        assert reg.render_prometheus() == ""
+
+
+class TestNullMetrics:
+    def test_same_surface_all_noop(self):
+        null = NullMetrics()
+        assert null.enabled is False
+        null.counter("x", "y", labels=("t",)).inc(t="a")
+        null.gauge("x", "y").set(1)
+        null.histogram("x", "y").observe(2)
+        null.histogram("x", "y").bind(t="a").observe(2)
+        assert null.render_prometheus() == ""
+        assert null.snapshot() == {}

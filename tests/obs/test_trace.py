@@ -1,0 +1,113 @@
+"""Tracing: request IDs, contextvar propagation, span nesting."""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+
+from repro.obs.trace import (
+    SpanRecorder,
+    current_request_id,
+    new_request_id,
+    reset_request_id,
+    sanitize_request_id,
+    set_request_id,
+    span,
+)
+
+
+class TestRequestIds:
+    def test_ids_are_process_unique(self):
+        ids = {new_request_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(i.startswith("req-") for i in ids)
+
+    def test_sanitize_accepts_safe_client_ids(self):
+        assert sanitize_request_id("abc-123.X_y") == "abc-123.X_y"
+
+    def test_sanitize_rejects_hostile_shapes(self):
+        for bad in ("", "has space", "new\nline", "x" * 129, None):
+            fresh = sanitize_request_id(bad)
+            assert fresh != bad
+            assert fresh.startswith("req-")
+
+    def test_contextvar_set_and_reset(self):
+        assert current_request_id() is None
+        token = set_request_id("req-test-1")
+        assert current_request_id() == "req-test-1"
+        reset_request_id(token)
+        assert current_request_id() is None
+
+    def test_propagates_into_asyncio_tasks(self):
+        async def child() -> str | None:
+            await asyncio.sleep(0)
+            return current_request_id()
+
+        async def main() -> str | None:
+            token = set_request_id("req-task-7")
+            try:
+                return await asyncio.create_task(child())
+            finally:
+                reset_request_id(token)
+
+        assert asyncio.run(main()) == "req-task-7"
+
+
+class TestSpans:
+    def test_nested_spans_record_parents(self):
+        rec = SpanRecorder()
+        with span("outer", rec):
+            with span("inner", rec):
+                pass
+        names = [(s["name"], s["parent"]) for s in rec.spans]
+        # Children finish (and record) before their parents.
+        assert names == [("inner", "outer"), ("outer", None)]
+        assert all(s["elapsed_s"] >= 0 for s in rec.spans)
+
+    def test_span_captures_request_id(self):
+        rec = SpanRecorder()
+        token = set_request_id("req-span-1")
+        try:
+            with span("work", rec):
+                pass
+        finally:
+            reset_request_id(token)
+        assert rec.spans[0]["request_id"] == "req-span-1"
+
+    def test_none_recorder_is_noop(self):
+        with span("ignored", None):
+            pass  # nothing to assert beyond "does not blow up"
+
+    def test_exception_still_records(self):
+        rec = SpanRecorder()
+        try:
+            with span("failing", rec):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert [s["name"] for s in rec.spans] == ["failing"]
+
+    def test_stack_unwinds_after_exception(self):
+        rec = SpanRecorder()
+        try:
+            with span("failing", rec):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        with span("after", rec):
+            pass
+        assert rec.spans[-1]["parent"] is None
+
+    def test_records_are_picklable(self):
+        rec = SpanRecorder()
+        with span("work", rec):
+            pass
+        assert pickle.loads(pickle.dumps(rec.spans)) == rec.spans
+
+    def test_drain_hands_off_and_clears(self):
+        rec = SpanRecorder()
+        with span("work", rec):
+            pass
+        drained = rec.drain()
+        assert [s["name"] for s in drained] == ["work"]
+        assert rec.spans == []
